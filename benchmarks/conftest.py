@@ -1,0 +1,41 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures at the QUICK
+scale, prints the same rows/series the paper reports, and writes them to
+``results/<name>.txt``.  Training runs are shared through the process-wide
+``Runs`` cache (plus a JSON disk cache under ``.cache/runs``), so the suite
+does not retrain shared baselines.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments import QUICK
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def runs(scale):
+    from repro.experiments import get_runs
+    return get_runs(scale)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Ablation benches for DESIGN.md's called-out design choices."""
+
+from repro.experiments import ablations
+
+from conftest import emit, run_once
+
+
+def test_ablation_penalty_scaling(benchmark, scale):
+    result = run_once(benchmark, lambda: ablations.run_penalty_scaling(scale))
+    emit("ablation_penalty_scaling", ablations.report_penalty_scaling(result))
+    glob = next(r for r in result["rows"] if r["variant"] == "global λ")
+    scaled = next(r for r in result["rows"] if r["variant"] == "size-scaled")
+    # both must prune; the global-λ design prioritizes FLOPs reduction:
+    # it achieves at least as good a FLOPs/params tradeoff slope
+    assert glob["flops_ratio"] < 1.0
+    assert scaled["flops_ratio"] < 1.0
+    glob_slope = glob["flops_ratio"] / max(glob["param_ratio"], 1e-6)
+    scaled_slope = scaled["flops_ratio"] / max(scaled["param_ratio"], 1e-6)
+    assert glob_slope <= scaled_slope + 0.35
+
+
+def test_ablation_lambda_setup(benchmark, scale):
+    result = run_once(benchmark, lambda: ablations.run_lambda_setup(scale))
+    emit("ablation_lambda_setup", ablations.report_lambda_setup(result))
+    rows = {r["variant"]: r for r in result["rows"]}
+    auto = rows["Eq. 3 setup"]
+    weak = rows["x0.1 (too weak)"]
+    strong = rows["x10 (too strong)"]
+    # Eq. 3 lands in the useful region on the first try
+    assert auto["flops_ratio"] < 0.9
+    assert auto["acc_delta"] > -0.12
+    # too weak barely prunes relative to the systematic setup
+    assert weak["flops_ratio"] > auto["flops_ratio"]
+    # too strong prunes more but costs accuracy (or collapses)
+    assert strong["flops_ratio"] <= auto["flops_ratio"] + 0.02
+    assert strong["acc_delta"] <= auto["acc_delta"] + 0.02
+
+
+def test_ablation_finetune(benchmark, scale):
+    result = run_once(benchmark, lambda: ablations.run_finetune(scale))
+    emit("ablation_finetune", ablations.report_finetune(result))
+    # fine-tuning must not hurt, and typically recovers accuracy (paper:
+    # +0.3% for strong regularization)
+    assert result["ft_acc"] >= result["pt_acc"] - 0.03
+    assert result["inference_flops"] < 1.0
+
+
+def test_ablation_lr_scaling(benchmark, scale):
+    result = run_once(benchmark, lambda: ablations.run_lr_scaling(scale))
+    emit("ablation_lr_scaling", ablations.report_lr_scaling(result))
+    rows = {r["variant"]: r for r in result["rows"]}
+    with_rescale = rows["with LR rescale"]
+    without = rows["no LR rescale"]
+    # both grew the batch
+    assert with_rescale["final_batch"] > 32
+    assert without["final_batch"] > 32
+    # the coupled LR adjustment must not be (much) worse than uncoupled;
+    # paper: it preserves learning quality
+    assert with_rescale["acc"] >= without["acc"] - 0.08

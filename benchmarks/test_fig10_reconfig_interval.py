@@ -1,0 +1,31 @@
+"""Fig. 10 — the accuracy/compression tradeoff is insensitive to the
+reconfiguration interval."""
+
+import numpy as np
+
+from repro.experiments import fig10
+
+from conftest import emit, run_once
+
+
+def test_fig10_reconfig_interval(benchmark, scale):
+    result = run_once(benchmark, lambda: fig10.run(scale))
+    emit("fig10", fig10.report(result))
+
+    # group points by ratio; across intervals the achieved accuracy and
+    # compression must stay in a narrow band (paper: curves overlap)
+    by_ratio = {}
+    for p in result["points"]:
+        by_ratio.setdefault(p["ratio"], []).append(p)
+    for ratio, pts in by_ratio.items():
+        accs = [p["acc"] for p in pts]
+        infs = [p["inference_flops"] for p in pts]
+        assert max(accs) - min(accs) < 0.15, \
+            f"ratio {ratio}: interval changes accuracy too much {accs}"
+        assert max(infs) / max(min(infs), 1) < 3.0, \
+            f"ratio {ratio}: interval changes compression too much"
+    # shorter intervals prune earlier -> no more total training FLOPs
+    # than the longest interval at the same ratio
+    for ratio, pts in by_ratio.items():
+        pts = sorted(pts, key=lambda p: p["interval"])
+        assert pts[0]["train_flops"] <= pts[-1]["train_flops"] * 1.1

@@ -1,0 +1,26 @@
+"""Fig. 11 — projected per-epoch communication cost of model updates."""
+
+import numpy as np
+
+from repro.experiments import fig11
+
+from conftest import emit, run_once
+
+
+def test_fig11_comm_cost(benchmark, scale):
+    result = run_once(benchmark, lambda: fig11.run(scale))
+    emit("fig11", fig11.report(result))
+
+    for strength, ser in result["series"].items():
+        # normalized comm cost starts near dense and declines
+        assert ser[0] <= 1.05
+        assert ser[-1] < ser[0], f"strength {strength}: no comm saving"
+        # the series never rises materially (reconfigs only shrink payloads;
+        # batch growth only cuts rounds)
+        assert (np.diff(ser) <= 0.05).all()
+
+    # stronger regularization saves at least as much on average
+    savings = [result["mean_saving"][s] for s in result["strengths"]]
+    assert savings[-1] >= savings[0] - 0.05
+    # meaningful aggregate saving at the strongest setting (paper: ~55%)
+    assert max(savings) > 0.15

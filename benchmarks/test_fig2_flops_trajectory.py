@@ -1,0 +1,37 @@
+"""Fig. 2 — FLOPs/iteration trajectories, pruning-phase breakdown, and the
+one-time-reconfiguration overhead."""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+from conftest import emit, run_once
+
+
+def test_fig2_flops_trajectory(benchmark, scale):
+    result = run_once(benchmark, lambda: fig2.run(scale))
+    emit("fig2", fig2.report(result))
+
+    for ratio, traj in result["trajectories"].items():
+        # (a) FLOPs per iteration must fall over training and end well below
+        # dense (the paper: most FLOPs pruned, saturating decline).
+        assert traj[0] <= 1.0 + 1e-6
+        assert traj[-1] < 0.85, f"ratio {ratio}: no meaningful pruning"
+        # trajectory is non-increasing up to float noise
+        assert (np.diff(traj) <= 1e-6).all()
+
+    # (a) stronger regularization prunes at least as much
+    finals = [result["trajectories"][r][-1] for r in result["ratios"]]
+    assert finals[-1] <= finals[0] + 0.05
+
+    # (b) the late phase contributes the least pruned FLOPs
+    for ratio in result["ratios"]:
+        p1, p2, p3 = result["phase_breakdown"][ratio]
+        assert p3 <= max(p1, p2) + 1e-6
+
+    # (c) one-time reconfiguration costs more than PruneTrain for EVERY
+    # choice of reconfiguration epoch (paper: >25% extra at the optimum)
+    for ratio, ov in result["onetime_overhead"].items():
+        assert (ov >= 1.0 - 1e-6).all()
+        assert ov.min() > 1.02, \
+            f"ratio {ratio}: one-time matched PruneTrain ({ov.min():.3f})"

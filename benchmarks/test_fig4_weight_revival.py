@@ -1,0 +1,17 @@
+"""Fig. 4 — sparsified channels (almost) never revive."""
+
+from repro.experiments import fig4
+
+from conftest import emit, run_once
+
+
+def test_fig4_weight_revival(benchmark, scale):
+    result = run_once(benchmark, lambda: fig4.run(scale))
+    emit("fig4", fig4.report(result))
+
+    total_sparse = sum(r["ever_sparse"] for r in result["revivals"].values())
+    total_revived = sum(r["revived"] for r in result["revivals"].values())
+    assert total_sparse > 0, "regularization sparsified no channels at all"
+    # Paper: revivals are rare and tiny; allow a small tail at quick scale.
+    assert total_revived <= max(1, int(0.15 * total_sparse)), \
+        f"{total_revived}/{total_sparse} channels revived"

@@ -1,0 +1,24 @@
+"""Fig. 6 — union's redundant FLOPs are a small premium over gating."""
+
+from repro.experiments import fig6_fig7
+
+from conftest import emit, run_once
+
+
+def test_fig6_union_vs_gating_flops(benchmark, scale):
+    result = run_once(benchmark, lambda: fig6_fig7.run_fig6(scale))
+    emit("fig6", fig6_fig7.report_fig6(result))
+
+    for model, rows in result["models"].items():
+        for r in rows:
+            # both schemes prune; gating <= union <= dense
+            assert r["gating"] <= r["union"] + 1e-9
+            assert r["union"] <= 1.0 + 1e-9
+            # the union premium is small (paper: 1-6%; allow <15% at this
+            # scale where channel counts are tiny)
+            assert r["gap"] < 0.15, \
+                f"{model}@{r['intensity']}: union premium {r['gap']:.2f}"
+    # paper: the premium does not grow with depth (ResNet50 vs ResNet32)
+    gap32 = max(r["gap"] for r in result["models"]["resnet32"])
+    gap50 = max(r["gap"] for r in result["models"]["resnet50"])
+    assert gap50 <= gap32 + 0.08

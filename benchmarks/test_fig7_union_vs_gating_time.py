@@ -1,0 +1,24 @@
+"""Fig. 7 — measured per-block execution time: union (index-free) beats
+gating (select/scatter reshaping) despite running more FLOPs."""
+
+from repro.experiments import fig6_fig7
+
+from conftest import emit, run_once
+
+
+def test_fig7_union_vs_gating_time(benchmark, scale):
+    result = run_once(benchmark, lambda: fig6_fig7.run_fig7(scale))
+    emit("fig7", fig6_fig7.report_fig7(result))
+
+    assert result["blocks"], "no residual blocks measured"
+    # Paper: union is faster on average (1.9x on their V100) because gating
+    # pays for tensor reshaping and narrow-dim utilization.  The GPU-modeled
+    # times must reproduce that ranking; the CPU measurement is reported for
+    # transparency (it inverts: BLAS GEMM dominates, copies are cheap).
+    assert result["mean_speedup"] > 1.0, \
+        f"union slower than gating on average: {result['mean_speedup']:.2f}x"
+    faster = sum(1 for r in result["blocks"] if r["model_speedup"] > 1.0)
+    assert faster >= len(result["blocks"]) // 2
+    # both execution paths actually ran on the engine
+    assert all(r["union_ms"] > 0 and r["gating_ms"] > 0
+               for r in result["blocks"])

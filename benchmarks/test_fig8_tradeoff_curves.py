@@ -1,0 +1,48 @@
+"""Fig. 8 — accuracy vs cost tradeoff curves, PruneTrain vs SSL."""
+
+import numpy as np
+
+from repro.experiments import fig8
+
+from conftest import emit, run_once
+
+
+def test_fig8_tradeoff_curves(benchmark, scale):
+    result = run_once(benchmark, lambda: fig8.run(scale))
+    emit("fig8", fig8.report(result))
+
+    for model, curve in result["curves"].items():
+        pts = curve["points"]
+        d_inf = curve["dense_inference"]
+        d_tr = curve["dense_train"]
+
+        # (a/c) stronger regularization -> smaller inference models
+        infs = [p["pt_inference"] / d_inf for p in pts]
+        assert infs == sorted(infs, reverse=True) or \
+            max(np.diff(infs)) < 0.1, f"{model}: non-monotone-ish {infs}"
+        assert infs[-1] < 0.9
+
+        # (b/d) PruneTrain trains for LESS than dense; SSL for MORE
+        for p in pts:
+            assert p["pt_train"] < d_tr, \
+                f"{model}@{p['ratio']}: PT did not cut training cost"
+            if "ssl_train" in p:
+                assert p["ssl_train"] > 1.8 * p["pt_train"], \
+                    f"{model}@{p['ratio']}: SSL protocol cost not ~2x+ PT"
+
+        # BN traffic also drops with strength
+        bns = [p["pt_bn"] / curve["dense_bn"] for p in pts]
+        assert bns[-1] < 1.0
+
+        # comparable inference tradeoff: at matched strength SSL and PT
+        # accuracies are in the same regime (within 15 points at this scale)
+        for p in pts:
+            if "ssl_acc" in p:
+                assert abs(p["pt_acc"] - p["ssl_acc"]) < 0.15, \
+                    f"{model}@{p['ratio']}: PT {p['pt_acc']:.3f} vs " \
+                    f"SSL {p['ssl_acc']:.3f}"
+
+    # the SSL head-to-head ran on at least one model
+    assert any("ssl_train" in p
+               for curve in result["curves"].values()
+               for p in curve["points"])

@@ -1,0 +1,30 @@
+"""Fig. 9 — training-memory decline and dynamic mini-batch growth."""
+
+import numpy as np
+
+from repro.experiments import fig9_tab4
+
+from conftest import emit, run_once
+
+
+def test_fig9_memory_and_batch(benchmark, scale):
+    result = run_once(benchmark, lambda: fig9_tab4.run(scale))
+    emit("fig9_tab4", fig9_tab4.report(result))
+
+    for case, data in result["cases"].items():
+        mem_naive = data["memory_naive"]
+        # pruning shrinks the training context monotonically (up to noise)
+        assert mem_naive[-1] < mem_naive[0], f"{case}: memory did not drop"
+
+        batches = data["batch_adjusted"]
+        # the adjuster grows the batch at least once as memory frees up
+        assert batches[-1] > batches[0], f"{case}: batch never grew"
+        # batch growth is monotone non-decreasing
+        assert (np.diff(batches) >= 0).all()
+
+        # adjusted runs refill capacity: memory stays within it but above
+        # the naive run's shrunken footprint at the end
+        cap = data["capacity"]
+        assert (data["memory_adjusted"] <= cap * 1.001).all(), \
+            f"{case}: capacity exceeded"
+        assert data["memory_adjusted"][-1] >= mem_naive[-1]

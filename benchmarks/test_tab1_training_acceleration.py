@@ -1,0 +1,41 @@
+"""Tab. 1 — the headline grid: training FLOPs/time and inference FLOPs
+reduction with small accuracy impact, across models and datasets."""
+
+import numpy as np
+
+from repro.experiments import tab1
+
+from conftest import emit, run_once
+
+
+def test_tab1_training_acceleration(benchmark, scale):
+    result = run_once(benchmark, lambda: tab1.run(scale))
+    emit("tab1", tab1.report(result))
+
+    rows = result["rows"]
+    assert len(rows) >= 8
+    for r in rows:
+        label = f"{r['model']}/{r['dataset']}@{r['ratio']}"
+        # training and inference must both get cheaper
+        assert r["train_flops"] < 1.0, f"{label}: no training FLOPs saved"
+        assert r["inference_flops"] < 1.0, f"{label}: no inference saving"
+        # inference saving >= training saving (pruning compounds over time)
+        assert r["inference_flops"] <= r["train_flops"] + 0.05, label
+        # modeled time savings exist but lag FLOPs savings (paper Sec. 5.1)
+        assert r["time_1080ti"] < 1.0, f"{label}: no time saved"
+        assert r["time_1080ti"] >= r["train_flops"] - 0.1, label
+
+    # substantial average savings (paper: ~50% training FLOPs on CIFAR)
+    cifar = [r for r in rows if r["dataset"].startswith("cifar")]
+    assert np.mean([r["train_flops"] for r in cifar]) < 0.85
+
+    # accuracy: average within a few points of dense (paper: <2%)
+    deltas = [r["acc_delta"] for r in rows]
+    assert np.mean(deltas) > -0.10, f"mean acc delta {np.mean(deltas):.3f}"
+
+    # ImageNet-class rows: weaker regularization saves less
+    img = [r for r in rows if r["dataset"] == "imagenet-s"]
+    if len(img) >= 2:
+        img_sorted = sorted(img, key=lambda r: r["ratio"])
+        assert img_sorted[0]["train_flops"] >= \
+            img_sorted[-1]["train_flops"] - 0.1

@@ -1,0 +1,23 @@
+"""Tab. 2 — measured inference throughput of pruned vs dense models."""
+
+import numpy as np
+
+from repro.experiments import tab2
+
+from conftest import emit, run_once
+
+
+def test_tab2_inference_throughput(benchmark, scale):
+    result = run_once(benchmark, lambda: tab2.run(scale))
+    emit("tab2", tab2.report(result))
+
+    b1, b2 = result["batches"]
+    speedups = []
+    for r in result["rows"]:
+        speedups.extend([r[f"speedup_{b1}"], r[f"speedup_{b2}"]])
+    # pruned models are faster on average (paper: 1.1-1.6x)
+    assert np.mean(speedups) > 1.0, f"mean speedup {np.mean(speedups):.2f}"
+    # the large batch utilizes hardware at least as well as the small one
+    large_batch = [r[f"speedup_{b2}"] for r in result["rows"]]
+    small_batch = [r[f"speedup_{b1}"] for r in result["rows"]]
+    assert np.mean(large_batch) > 0.8 * np.mean(small_batch)

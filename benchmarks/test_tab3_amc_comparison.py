@@ -1,0 +1,33 @@
+"""Tab. 3 — PruneTrain vs trial-and-error pruning from a pretrained model."""
+
+from repro.experiments import tab3
+
+from conftest import emit, run_once
+
+
+def test_tab3_amc_comparison(benchmark, scale):
+    result = run_once(benchmark, lambda: tab3.run(scale))
+    emit("tab3", tab3.report(result))
+
+    pt = next(r for r in result["rows"] if r["method"] == "PruneTrain")
+    amc = next(r for r in result["rows"] if r["method"] == "AMC-like")
+
+    # Both compress
+    assert pt["inference_flops"] < 1.0
+    assert amc["inference_flops"] < 0.8
+
+    # PruneTrain trains in less than dense cost; the trial-and-error
+    # protocol costs MORE than dense (pretrain + fine-tune rounds).
+    assert pt["train_flops"] < 1.0
+    assert amc["train_flops"] > 1.0
+
+    # Paper: PruneTrain compresses more at better accuracy; at quick scale
+    # require it to win on at least one axis without losing badly on the
+    # other.
+    wins_flops = pt["inference_flops"] <= amc["inference_flops"] + 0.05
+    wins_acc = pt["acc_delta"] >= amc["acc_delta"] - 0.02
+    assert wins_flops or wins_acc
+
+    # PruneTrain learns depth: layer removal is reported (may be zero at
+    # tiny scale, but the machinery must produce the count)
+    assert pt["removed_layers"] >= 0

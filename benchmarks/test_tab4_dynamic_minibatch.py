@@ -1,0 +1,26 @@
+"""Tab. 4 — naive vs batch-adjusted PruneTrain."""
+
+from repro.experiments import fig9_tab4
+
+from conftest import emit, run_once
+
+
+def test_tab4_dynamic_minibatch(benchmark, scale):
+    result = run_once(benchmark, lambda: fig9_tab4.run(scale))
+    emit("tab4", fig9_tab4.report(result))
+
+    for case, data in result["cases"].items():
+        naive = next(r for r in data["tab4"] if r["method"] == "naive")
+        adj = next(r for r in data["tab4"] if r["method"] == "adjusted")
+
+        # both reduce modeled training time vs dense
+        assert naive["time_red_1080ti"] > 0
+        assert adj["time_red_1080ti"] > 0
+        # paper: dynamic adjustment reduces time further (fewer iterations,
+        # fewer model updates) without hurting pruning quality much
+        assert adj["time_red_v100"] >= naive["time_red_v100"] - 0.02, case
+        assert adj["comm_ratio"] <= naive["comm_ratio"] + 0.02, case
+        # accuracy stays in the same regime
+        assert abs(adj["acc_delta"] - naive["acc_delta"]) < 0.12, case
+        # compression quality barely affected
+        assert abs(adj["inference_flops"] - naive["inference_flops"]) < 0.2

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Compare training protocols: dense, PruneTrain, SSL, one-time reconfig.
+
+Miniature of the paper's Sec. 5.2 comparisons: four ways to obtain a
+compressed model, with their *training* cost and the resulting *inference*
+cost side by side.
+
+- dense        : no pruning (the baseline).
+- PruneTrain   : regularize + reconfigure continuously from scratch.
+- SSL          : pretrain dense, then sparsify keeping the architecture;
+                 prune once at the very end (Wen et al.).
+- one-time     : regularize from scratch, reconfigure exactly once
+                 (Alvarez & Salzmann).
+
+Usage:  python examples/compare_methods.py
+"""
+
+from repro.data import make_synthetic
+from repro.nn import resnet32
+from repro.train import (OneTimeConfig, OneTimeTrainer, PruneTrainConfig,
+                         PruneTrainTrainer, SSLConfig, SSLTrainer, Trainer,
+                         TrainerConfig)
+
+EPOCHS = 10
+COMMON = dict(batch_size=48, augment=False, log_every=0)
+PRUNE = dict(penalty_ratio=0.25, lambda_scale=70.0, threshold=7e-3,
+             zero_sparse=True)
+
+
+def fresh_model():
+    return resnet32(10, width_mult=0.5, input_hw=12, seed=0)
+
+
+def main() -> None:
+    train = make_synthetic(10, 768, hw=12, noise=1.0, seed=0,
+                           name="cifar10s")
+    val = make_synthetic(10, 256, hw=12, noise=1.0, seed=1,
+                         name="cifar10s-val")
+
+    results = {}
+    print("training dense ...")
+    dense = Trainer(fresh_model(), train, val,
+                    TrainerConfig(epochs=EPOCHS, **COMMON)).train()
+    results["dense"] = dense
+
+    print("training PruneTrain ...")
+    results["prunetrain"] = PruneTrainTrainer(
+        fresh_model(), train, val,
+        PruneTrainConfig(epochs=EPOCHS, reconfig_interval=2, **COMMON,
+                         **PRUNE)).train()
+
+    print("training SSL (pretrain + sparsify) ...")
+    results["ssl"] = SSLTrainer(
+        fresh_model(), train, val,
+        SSLConfig(epochs=EPOCHS, pretrain_epochs=EPOCHS, **COMMON,
+                  **PRUNE)).train()
+
+    print("training one-time reconfiguration ...")
+    results["one-time"] = OneTimeTrainer(
+        fresh_model(), train, val,
+        OneTimeConfig(epochs=EPOCHS, reconfig_epoch=EPOCHS // 2, **COMMON,
+                      **PRUNE)).train()
+
+    print(f"\n{'method':12s} | {'val acc':7s} | {'train FLOPs':11s} | "
+          f"{'inference FLOPs':15s}")
+    base_train = dense.total_train_flops
+    base_inf = dense.final_inference_flops
+    for name, log in results.items():
+        print(f"{name:12s} | {log.final_val_acc:7.3f} | "
+              f"{100 * log.total_train_flops / base_train:10.0f}% | "
+              f"{100 * log.final_inference_flops / base_inf:14.0f}%")
+
+
+if __name__ == "__main__":
+    main()

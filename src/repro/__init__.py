@@ -1,0 +1,22 @@
+"""repro — a full reproduction of PruneTrain (Lym et al., SC'19).
+
+PruneTrain accelerates CNN training from scratch by continuously sparsifying
+channels with group-lasso regularization and periodically *reconfiguring* the
+network into a smaller dense model, cutting computation, memory traffic, and
+inter-accelerator communication while training.
+
+Packages
+--------
+- ``repro.tensor``      from-scratch NumPy autograd engine
+- ``repro.nn``          layers, module system, model zoo (ResNet/VGG)
+- ``repro.data``        synthetic datasets, loader, augmentation
+- ``repro.optim``       SGD + momentum, LR schedules
+- ``repro.prune``       the paper's contribution: group lasso, sparsity
+                        analysis, reconfiguration, channel union/gating
+- ``repro.costmodel``   FLOPs / memory / communication / time models
+- ``repro.distributed`` simulated data-parallel training, dynamic mini-batch
+- ``repro.train``       trainers: dense, PruneTrain, SSL, one-time, AMC-like
+- ``repro.experiments`` per-figure/table experiment runners
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Diagnostics: per-layer summaries and roofline classification."""
+
+from .summary import LayerSummary, summarize, summary_table
+
+__all__ = ["LayerSummary", "summarize", "summary_table"]

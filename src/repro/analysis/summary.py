@@ -1,0 +1,106 @@
+"""Model summaries: per-layer tables and roofline classification.
+
+Human-facing diagnostics over the channel-space graph: a layer table (shape,
+params, FLOPs, arithmetic intensity) and a roofline classification of each
+layer on a given device — the paper's framing of convolutions as
+compute-bound and normalization as bandwidth-bound (Sec. 2.1) made
+quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..costmodel.flops import conv_flops
+from ..costmodel.memory import BYTES_PER_ELEMENT
+from ..costmodel.time import DeviceModel
+from ..nn.graph import ModelGraph
+from ..nn.module import Module
+
+
+@dataclass
+class LayerSummary:
+    """One row of the model summary table."""
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    out_hw: int
+    params: int
+    flops: float                # inference FLOPs per sample
+    activation_bytes: float     # output feature map bytes per sample
+    arithmetic_intensity: float  # FLOPs per byte moved
+
+    def bound(self, device: DeviceModel) -> str:
+        """Roofline classification on ``device``: compute vs bandwidth."""
+        ridge = device.peak_flops / device.mem_bandwidth
+        return "compute" if self.arithmetic_intensity >= ridge else "memory"
+
+
+def summarize(model: Module) -> List[LayerSummary]:
+    """Per-layer summary of the model's *current* (possibly pruned) state."""
+    graph: ModelGraph = model.graph
+    rows: List[LayerSummary] = []
+    for node in graph.active_convs():
+        k, c, r, s = node.conv.weight.data.shape
+        fl = conv_flops(node)
+        in_hw = node.out_hw * node.conv.stride
+        bytes_moved = (c * in_hw * in_hw + k * node.out_hw * node.out_hw
+                       + k * c * r * s) * BYTES_PER_ELEMENT
+        rows.append(LayerSummary(
+            name=node.name, kind=f"conv{r}x{s}", in_channels=c,
+            out_channels=k, out_hw=node.out_hw,
+            params=node.conv.weight.data.size,
+            flops=fl,
+            activation_bytes=k * node.out_hw ** 2 * BYTES_PER_ELEMENT,
+            arithmetic_intensity=fl / bytes_moved))
+        if node.bn is not None:
+            elems = k * node.out_hw ** 2
+            bn_bytes = 2 * elems * BYTES_PER_ELEMENT
+            rows.append(LayerSummary(
+                name=f"{node.name}.bn", kind="batchnorm", in_channels=k,
+                out_channels=k, out_hw=node.out_hw, params=2 * k,
+                flops=5.0 * elems,
+                activation_bytes=elems * BYTES_PER_ELEMENT,
+                arithmetic_intensity=5.0 * elems / bn_bytes))
+    for lin in graph.linears:
+        w = lin.linear.weight.data
+        fl = 2.0 * w.size
+        bytes_moved = (w.size + w.shape[0] + w.shape[1]) * BYTES_PER_ELEMENT
+        rows.append(LayerSummary(
+            name=lin.name, kind="linear", in_channels=w.shape[1],
+            out_channels=w.shape[0], out_hw=1, params=w.size, flops=fl,
+            activation_bytes=w.shape[0] * BYTES_PER_ELEMENT,
+            arithmetic_intensity=fl / bytes_moved))
+    return rows
+
+
+def summary_table(model: Module,
+                  device: DeviceModel | None = None) -> str:
+    """Render :func:`summarize` as an aligned text table."""
+    rows = summarize(model)
+    headers = ["layer", "kind", "in", "out", "hw", "params", "MFLOPs",
+               "AI (FLOP/B)"]
+    if device is not None:
+        headers.append("bound")
+    widths = [len(h) for h in headers]
+    body = []
+    for r in rows:
+        cells = [r.name, r.kind, str(r.in_channels), str(r.out_channels),
+                 str(r.out_hw), str(r.params), f"{r.flops / 1e6:.2f}",
+                 f"{r.arithmetic_intensity:.2f}"]
+        if device is not None:
+            cells.append(r.bound(device))
+        body.append(cells)
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "-+-".join("-" * w for w in widths)]
+    for cells in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    total_params = sum(r.params for r in rows)
+    total_flops = sum(r.flops for r in rows)
+    lines.append(f"total: {total_params} params, "
+                 f"{total_flops / 1e6:.2f} MFLOPs/sample")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Inter-accelerator communication cost model (paper Sec. 2.2, Fig. 11).
+
+Data-parallel training communicates only for model updates: every iteration,
+each worker's weight gradients are all-reduced.  The paper projects the cost
+with ring allreduce; hierarchical allreduce [26] is also modeled (the Fig. 11
+caption's "hierarchical ring-allreduce").
+
+PruneTrain reduces communication along two axes simultaneously:
+- reconfiguration shrinks the gradient payload (fewer weights), and
+- dynamic mini-batch growth reduces the number of iterations per epoch
+  (fewer allreduce rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.graph import ModelGraph
+from .memory import BYTES_PER_ELEMENT
+
+
+def gradient_payload_bytes(graph: ModelGraph) -> float:
+    """Bytes of weight gradients all-reduced per iteration (active params)."""
+    params = 0
+    for node in graph.active_convs():
+        params += node.conv.weight.data.size
+        if node.conv.bias is not None:
+            params += node.conv.bias.data.size
+        if node.bn is not None:
+            params += node.bn.weight.data.size + node.bn.bias.data.size
+    for lin in graph.linears:
+        params += lin.linear.weight.data.size
+        if lin.linear.bias is not None:
+            params += lin.linear.bias.data.size
+    return float(params) * BYTES_PER_ELEMENT
+
+
+def ring_allreduce_bytes(payload_bytes: float, workers: int) -> float:
+    """Per-worker bytes sent by ring allreduce: ``2 (P-1)/P · payload``."""
+    if workers < 2:
+        return 0.0
+    return 2.0 * (workers - 1) / workers * payload_bytes
+
+
+def hierarchical_allreduce_bytes(payload_bytes: float, workers: int,
+                                 group_size: int = 4) -> float:
+    """Total per-worker bytes of hierarchical allreduce (intra + inter).
+
+    Ring reduce within groups of ``group_size``, a ring across group leaders
+    on ``1/group_size``-sized shards, then an intra-group broadcast.  The
+    *total* volume matches flat ring allreduce (both are volume-optimal);
+    the win of the hierarchical scheme [26] is that the slow inter-node
+    links only carry :func:`hierarchical_interlink_bytes`.
+    """
+    if workers < 2:
+        return 0.0
+    groups = max(1, workers // group_size)
+    intra = ring_allreduce_bytes(payload_bytes, min(group_size, workers))
+    inter = hierarchical_interlink_bytes(payload_bytes, workers, group_size)
+    return intra + inter
+
+
+def hierarchical_interlink_bytes(payload_bytes: float, workers: int,
+                                 group_size: int = 4) -> float:
+    """Bytes a group leader sends over the inter-group (slow) links."""
+    if workers < 2:
+        return 0.0
+    groups = max(1, workers // group_size)
+    return ring_allreduce_bytes(payload_bytes / max(1, group_size), groups)
+
+
+@dataclass
+class CommModel:
+    """Two-tier link bandwidth model turning byte counts into seconds.
+
+    ``intra_bandwidth`` models fast in-node links (NVLink/PCIe), and
+    ``inter_bandwidth`` the slower cross-node fabric.  Flat ring allreduce
+    is bottlenecked by the slowest link in the ring; the hierarchical scheme
+    keeps most traffic on the fast tier.
+    """
+
+    intra_bandwidth: float = 50e9   # bytes/s
+    inter_bandwidth: float = 10e9   # bytes/s
+    latency_per_round: float = 20e-6
+
+    def allreduce_time(self, payload_bytes: float, workers: int,
+                       hierarchical: bool = False,
+                       group_size: int = 4) -> float:
+        if workers < 2:
+            return 0.0
+        if hierarchical:
+            intra = ring_allreduce_bytes(payload_bytes,
+                                         min(group_size, workers))
+            inter = hierarchical_interlink_bytes(payload_bytes, workers,
+                                                 group_size)
+            t = intra / self.intra_bandwidth + inter / self.inter_bandwidth
+        else:
+            t = ring_allreduce_bytes(payload_bytes, workers) \
+                / self.inter_bandwidth
+        return t + self.latency_per_round * (workers - 1)
+
+
+def epoch_comm_bytes(graph: ModelGraph, dataset_size: int,
+                     global_batch: int, workers: int,
+                     hierarchical: bool = True) -> float:
+    """Per-worker communication bytes over one epoch."""
+    iters = (dataset_size + global_batch - 1) // global_batch
+    payload = gradient_payload_bytes(graph)
+    fn = hierarchical_allreduce_bytes if hierarchical else ring_allreduce_bytes
+    return iters * fn(payload, workers)

@@ -1,0 +1,128 @@
+"""Analytic FLOP accounting over a model's channel-space graph.
+
+All of the paper's headline numbers are FLOP counts (training FLOPs,
+inference FLOPs, FLOPs-per-iteration trajectories), so this module is the
+backbone of most experiment reproductions.  Counts are *exact* for whatever
+architecture is currently in play — they walk the live
+:class:`~repro.nn.graph.ModelGraph`, so they remain correct after every
+reconfiguration.
+
+Three counting modes support the paper's comparisons:
+
+- ``current``  — the model as it stands (post-surgery dims).
+- ``union``    — hypothetical: what channel-union pruning *would* leave,
+  given present weight sparsity (used for the Fig. 2a trajectory, where
+  FLOPs are measured "assuming we can prune every 10 epochs").
+- ``gating``   — hypothetical: per-conv gating dims (Fig. 6's comparison).
+
+Convention: 1 multiply-accumulate = 2 FLOPs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.graph import ConvNode, ModelGraph
+from ..prune.gating import all_path_plans
+from ..prune.reconfigure import _dead_convs
+from ..prune.sparsity import DEFAULT_THRESHOLD, space_keep_masks
+
+Dims = Dict[str, Tuple[int, int]]  # conv name -> (C_in, C_out)
+
+#: Training FLOPs multiplier over inference: forward GEMM + input-gradient
+#: GEMM + weight-gradient GEMM (the standard 3x rule the paper also uses).
+TRAINING_FLOPS_FACTOR = 3.0
+
+
+def conv_flops(node: ConvNode, c_in: Optional[int] = None,
+               c_out: Optional[int] = None) -> float:
+    """Inference FLOPs of one conv per input sample."""
+    k, c, r, s = node.conv.weight.data.shape
+    c_in = c if c_in is None else c_in
+    c_out = k if c_out is None else c_out
+    return 2.0 * c_out * c_in * r * s * node.out_hw * node.out_hw
+
+
+def _dead_path_ids(graph: ModelGraph, threshold: float) -> set:
+    return {n.path for n in _dead_convs(graph, threshold)}
+
+
+def conv_dims_union(graph: ModelGraph,
+                    threshold: float = DEFAULT_THRESHOLD) -> Dims:
+    """Per-conv dims under hypothetical channel-union pruning (+ layer removal)."""
+    dead = _dead_path_ids(graph, threshold)
+    masks = space_keep_masks(graph, threshold)
+    dims: Dims = {}
+    for node in graph.active_convs():
+        if node.path in dead:
+            continue
+        dims[node.name] = (int(masks[node.in_space].sum()),
+                           int(masks[node.out_space].sum()))
+    return dims
+
+
+def conv_dims_gating(graph: ModelGraph,
+                     threshold: float = DEFAULT_THRESHOLD) -> Dims:
+    """Per-conv dims under hypothetical channel gating.
+
+    Residual-path convs use their private gather/intersection dims; trunk
+    convs (stem, projections) keep the union dims — gating only applies
+    inside residual paths (Fig. 5b).
+    """
+    dims = conv_dims_union(graph, threshold)
+    dead = _dead_path_ids(graph, threshold)
+    for pid, plan in all_path_plans(graph, threshold).items():
+        if pid in dead:
+            continue
+        for cp in plan.convs:
+            dims[cp.name] = (int(cp.in_idx.size), int(cp.out_idx.size))
+    return dims
+
+
+def inference_flops(graph: ModelGraph, mode: str = "current",
+                    threshold: float = DEFAULT_THRESHOLD,
+                    include_small_layers: bool = True) -> float:
+    """Total inference FLOPs per sample of the (possibly hypothetical) model."""
+    if mode == "current":
+        dims: Optional[Dims] = None
+        masks = None
+    elif mode == "union":
+        dims = conv_dims_union(graph, threshold)
+        masks = space_keep_masks(graph, threshold)
+    elif mode == "gating":
+        dims = conv_dims_gating(graph, threshold)
+        masks = space_keep_masks(graph, threshold)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    total = 0.0
+    for node in graph.active_convs():
+        if dims is None:
+            ci, co = None, None
+        else:
+            if node.name not in dims:   # dead path
+                continue
+            ci, co = dims[node.name]
+        total += conv_flops(node, ci, co)
+        if include_small_layers and node.bn is not None:
+            c_out = node.conv.weight.data.shape[0] if co is None else co
+            # BN: ~4 ops/element (sub, mul, mul, add), ReLU: 1
+            total += 5.0 * c_out * node.out_hw * node.out_hw
+    for lin in graph.linears:
+        cin = lin.linear.in_features if masks is None \
+            else int(masks[lin.in_space].sum())
+        total += 2.0 * cin * lin.linear.out_features
+    return total
+
+
+def training_flops_per_sample(graph: ModelGraph, mode: str = "current",
+                              threshold: float = DEFAULT_THRESHOLD) -> float:
+    """Per-sample FLOPs of one training iteration (fwd + both bwd GEMMs)."""
+    return TRAINING_FLOPS_FACTOR * inference_flops(graph, mode, threshold)
+
+
+def per_layer_inference_flops(graph: ModelGraph) -> Dict[str, float]:
+    """Current per-conv inference FLOPs (Fig. 7 companions, diagnostics)."""
+    return {n.name: conv_flops(n) for n in graph.active_convs()}

@@ -1,0 +1,9 @@
+"""Synthetic datasets, loaders, and augmentation."""
+
+from .augment import Augmenter
+from .loader import DataLoader
+from .synthetic import (Dataset, cifar10s, cifar100s, imagenet_s,
+                        make_synthetic)
+
+__all__ = ["Dataset", "DataLoader", "Augmenter", "make_synthetic",
+           "cifar10s", "cifar100s", "imagenet_s"]

@@ -1,0 +1,72 @@
+"""Mini-batch loader with deterministic shuffling and on-the-fly batch resize.
+
+The loader's batch size is *mutable between epochs* — this is the hook
+PruneTrain's dynamic mini-batch adjustment (Sec. 4.3) uses: after a pruning
+reconfiguration frees training memory, ``set_batch_size`` grows the batch
+(and the trainer rescales the learning rate by the same ratio).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .augment import Augmenter
+from .synthetic import Dataset
+
+
+class DataLoader:
+    """Iterates ``(x, y)`` mini-batches over a :class:`Dataset`.
+
+    Parameters
+    ----------
+    drop_last:
+        Drop a trailing partial batch (keeps per-iteration cost uniform,
+        matching the paper's fixed-iteration accounting).
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int,
+                 shuffle: bool = True, seed: int = 0,
+                 augment: Optional[Augmenter] = None,
+                 drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.augment = augment
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+        self._epoch = 0
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Change the mini-batch size (takes effect next epoch iteration)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+
+    def batches_per_epoch(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __len__(self) -> int:
+        return self.batches_per_epoch()
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        idx = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(idx)
+        self._epoch += 1
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last \
+            else n
+        for start in range(0, stop, self.batch_size):
+            sel = idx[start:start + self.batch_size]
+            xb = self.dataset.x[sel]
+            yb = self.dataset.y[sel]
+            if self.augment is not None:
+                xb = self.augment(xb, self._rng)
+            yield xb, yb

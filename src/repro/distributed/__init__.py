@@ -1,0 +1,13 @@
+"""Simulated data-parallel training: executable ring allreduce, multi-worker
+gradient steps, and PruneTrain's dynamic mini-batch adjustment."""
+
+from .allreduce import (AllreduceTrace, allreduce_gradient_lists,
+                        ring_allreduce)
+from .minibatch import BatchAdjustment, DynamicBatchAdjuster
+from .worker import StepResult, data_parallel_step
+
+__all__ = [
+    "ring_allreduce", "allreduce_gradient_lists", "AllreduceTrace",
+    "data_parallel_step", "StepResult",
+    "DynamicBatchAdjuster", "BatchAdjustment",
+]

@@ -1,0 +1,79 @@
+"""Dynamic mini-batch adjustment (paper Sec. 4.3, Fig. 9, Tab. 4).
+
+After each pruning reconfiguration the training-context volume shrinks;
+this adjuster monitors the modeled per-iteration memory requirement and
+grows the per-worker mini-batch (in units of ``granularity`` samples) to
+refill device memory.  When the batch grows by ratio ``r``, the learning
+rate is scaled by the same ``r`` (the linear scaling rule, after Smith et
+al. [19] — but applied *at any point* during training, which is the paper's
+delta over that work).  A square-root rule is provided for workloads with a
+non-linear batch/LR relation (the paper's note about language models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..costmodel.memory import MemoryModel, iteration_memory_bytes
+from ..nn.graph import ModelGraph
+
+
+@dataclass
+class BatchAdjustment:
+    """One adjustment decision."""
+
+    old_batch: int
+    new_batch: int
+    lr_scale: float
+    memory_bytes: float
+
+    @property
+    def changed(self) -> bool:
+        return self.new_batch != self.old_batch
+
+
+@dataclass
+class DynamicBatchAdjuster:
+    """Grows the mini-batch as pruning frees memory.
+
+    Parameters
+    ----------
+    memory_model:
+        Device capacity model.
+    granularity:
+        Batch step (the paper uses 32 samples/GPU).
+    max_batch:
+        Upper bound per worker (data-loader / generalization limits).
+    lr_rule:
+        ``"linear"`` (vision default) or ``"sqrt"`` (language-model rule).
+    shrink:
+        Allow decreasing the batch if memory is exceeded (not needed by
+        PruneTrain — pruning only shrinks the model — but kept for safety).
+    """
+
+    memory_model: MemoryModel
+    granularity: int = 32
+    max_batch: int = 1024
+    lr_rule: str = "linear"
+    shrink: bool = False
+    history: List[BatchAdjustment] = field(default_factory=list)
+
+    def propose(self, graph: ModelGraph, current_batch: int
+                ) -> BatchAdjustment:
+        """Decide the new per-worker batch after a reconfiguration."""
+        fit = self.memory_model.max_batch(graph, self.granularity,
+                                          ceiling=self.max_batch)
+        new_batch = max(fit, current_batch) if not self.shrink else fit
+        new_batch = min(new_batch, self.max_batch)
+        if self.lr_rule == "linear":
+            scale = new_batch / current_batch
+        elif self.lr_rule == "sqrt":
+            scale = (new_batch / current_batch) ** 0.5
+        else:
+            raise ValueError(f"unknown lr_rule {self.lr_rule!r}")
+        adj = BatchAdjustment(
+            current_batch, new_batch, scale,
+            iteration_memory_bytes(graph, new_batch))
+        self.history.append(adj)
+        return adj

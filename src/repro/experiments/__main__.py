@@ -1,0 +1,69 @@
+"""CLI: regenerate paper figures/tables without pytest.
+
+Usage::
+
+    python -m repro.experiments              # list experiments
+    python -m repro.experiments fig2         # run one at QUICK scale
+    python -m repro.experiments tab1 --scale smoke
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (ablations, fig2, fig4, fig6_fig7, fig8, fig9_tab4, fig10,
+               fig11, fig12, tab1, tab2, tab3)
+from .configs import SCALES
+
+EXPERIMENTS = {
+    "fig2": lambda s: fig2.report(fig2.run(s)),
+    "fig4": lambda s: fig4.report(fig4.run(s)),
+    "fig6": lambda s: fig6_fig7.report_fig6(fig6_fig7.run_fig6(s)),
+    "fig7": lambda s: fig6_fig7.report_fig7(fig6_fig7.run_fig7(s)),
+    "tab1": lambda s: tab1.report(tab1.run(s)),
+    "tab2": lambda s: tab2.report(tab2.run(s)),
+    "tab3": lambda s: tab3.report(tab3.run(s)),
+    "fig8": lambda s: fig8.report(fig8.run(s)),
+    "fig9": lambda s: fig9_tab4.report(fig9_tab4.run(s)),
+    "tab4": lambda s: fig9_tab4.report(fig9_tab4.run(s)),
+    "fig10": lambda s: fig10.report(fig10.run(s)),
+    "fig11": lambda s: fig11.report(fig11.run(s)),
+    "fig12": lambda s: fig12.report(fig12.run(s)),
+    "ablation-finetune": lambda s: ablations.report_finetune(
+        ablations.run_finetune(s)),
+    "ablation-penalty": lambda s: ablations.report_penalty_scaling(
+        ablations.run_penalty_scaling(s)),
+    "ablation-lambda": lambda s: ablations.report_lambda_setup(
+        ablations.run_lambda_setup(s)),
+    "ablation-lr": lambda s: ablations.report_lr_scaling(
+        ablations.run_lr_scaling(s)),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument("experiment", nargs="?",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="experiment id (omit to list)")
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    scale = SCALES[args.scale]
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        print(f"\n#### {name} (scale={scale.name}) ####")
+        print(EXPERIMENTS[name](scale))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

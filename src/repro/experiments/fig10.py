@@ -1,0 +1,49 @@
+"""Fig. 10 — robustness to the reconfiguration interval.
+
+The paper varies the interval (10/20/30 epochs on CIFAR) and finds the
+accuracy-vs-inference-FLOPs tradeoff essentially unchanged — the interval
+can be chosen for systems reasons (reconfiguration overhead amortization)
+without hurting learning.  At compressed scale the analogue intervals are
+fractions of the run length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .configs import Scale, epochs_for
+from .format import table
+from .runner import get_runs
+
+MODEL = "resnet32"
+DATASET = "cifar10s"
+RATIOS = (0.15, 0.3)
+
+
+def run(scale: Scale) -> Dict:
+    runs = get_runs(scale)
+    epochs = epochs_for(DATASET, scale)
+    intervals = sorted({max(1, epochs // 6), max(2, epochs // 3),
+                        max(3, epochs // 2)})
+    out: Dict = {"intervals": intervals, "points": []}
+    for interval in intervals:
+        for ratio in RATIOS:
+            _, log = runs.prunetrain(MODEL, DATASET, ratio=ratio,
+                                     interval=interval)
+            out["points"].append({
+                "interval": interval, "ratio": ratio,
+                "acc": log.final_val_acc,
+                "inference_flops": log.final_inference_flops,
+                "train_flops": log.total_train_flops,
+            })
+    return out
+
+
+def report(result: Dict) -> str:
+    return table(
+        ["interval (epochs)", "ratio", "val acc", "inference MFLOPs",
+         "train PFLOP-units"],
+        [[p["interval"], p["ratio"], f"{p['acc']:.3f}",
+          f"{p['inference_flops'] / 1e6:.2f}",
+          f"{p['train_flops'] / 1e12:.4f}"] for p in result["points"]],
+        title="== Fig. 10: reconfiguration-interval sensitivity ==")

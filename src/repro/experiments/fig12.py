@@ -1,0 +1,47 @@
+"""Fig. 12 — per-layer channel and weight density of the final trained model.
+
+After PruneTrain, roughly half of the weights *within the surviving
+channels* are also near-zero (unstructured sparsity the paper suggests
+exploiting for storage/sparse hardware).  Reports per-layer channel density
+(in-dense x out-dense) and elementwise weight density.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..prune import density_report
+from .configs import Scale
+from .format import table
+from .runner import get_runs
+
+MODEL = "resnet50"
+DATASET = "cifar10s"
+
+
+def run(scale: Scale, ratio: float = 0.25) -> Dict:
+    runs = get_runs(scale)
+    key, log = runs.prunetrain(MODEL, DATASET, ratio=ratio, need_model=True)
+    model = runs.model_for(key)
+    trainer = runs.trainer_for(key)
+    rep = density_report(model.graph, threshold=trainer.cfg.threshold)
+    return {
+        "layers": rep.layer_names,
+        "channel_density": rep.channel_density,
+        "weight_density": rep.weight_density,
+        "mean_channel_density": float(np.mean(rep.channel_density)),
+        "mean_weight_density": float(np.mean(rep.weight_density)),
+    }
+
+
+def report(result: Dict) -> str:
+    rows = [[n, f"{c:.2f}", f"{w:.2f}"]
+            for n, c, w in zip(result["layers"],
+                               result["channel_density"],
+                               result["weight_density"])]
+    t = table(["layer", "channel density", "weight density"], rows,
+              title="== Fig. 12: per-layer density of the final model ==")
+    return (t + f"\nmeans: channel {result['mean_channel_density']:.2f}, "
+            f"weight {result['mean_weight_density']:.2f}")

@@ -1,0 +1,90 @@
+"""Fig. 8 — accuracy/cost tradeoff curves: PruneTrain vs SSL.
+
+Sweeping the lasso penalty ratio produces, per method:
+(a/c) validation accuracy vs final inference FLOPs, and
+(b/d) validation accuracy vs training FLOPs and BN memory traffic
+      (PruneTrain only — the paper omits SSL's training cost because it is
+      ~3x the dense baseline by protocol).
+
+Paper-shape claims checked by the bench: PruneTrain and SSL trace comparable
+inference tradeoffs, SSL's training FLOPs are >= 2x PruneTrain's, and
+PruneTrain's training cost *decreases* with regularization strength.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .configs import Scale
+from .format import table
+from .runner import get_runs
+
+MODELS = ("resnet32", "resnet50")
+#: Sweep endpoints plus Tab. 1's operating point; PruneTrain runs are shared
+#: with Fig. 2 / Tab. 1, so only the SSL sparsify phases are new work.
+RATIOS = (0.1, 0.25, 0.3)
+#: SSL's sparsify phase always runs at the dense model's full cost, so the
+#: head-to-head uses the cheaper model; PruneTrain curves cover both.
+SSL_MODELS = ("resnet32",)
+
+
+def run(scale: Scale, dataset: str = "cifar10s",
+        models=MODELS, ratios=RATIOS) -> Dict:
+    runs = get_runs(scale)
+    out: Dict = {"dataset": dataset, "ratios": list(ratios), "curves": {}}
+    for model in models:
+        _, dense = runs.dense(model, dataset)
+        points: List[Dict] = []
+        for ratio in ratios:
+            _, pt = runs.prunetrain(model, dataset, ratio=ratio)
+            point = {
+                "ratio": ratio,
+                "pt_acc": pt.final_val_acc,
+                "pt_inference": pt.final_inference_flops,
+                "pt_train": pt.total_train_flops,
+                "pt_bn": pt.total_bn_bytes,
+            }
+            if model in SSL_MODELS:
+                _, ssl = runs.ssl(model, dataset, ratio=ratio)
+                point.update({
+                    "ssl_acc": ssl.final_val_acc,
+                    "ssl_inference": ssl.final_inference_flops,
+                    "ssl_train": ssl.total_train_flops,
+                })
+            points.append(point)
+        out["curves"][model] = {
+            "dense_acc": dense.final_val_acc,
+            "dense_inference": dense.final_inference_flops,
+            "dense_train": dense.total_train_flops,
+            "dense_bn": dense.total_bn_bytes,
+            "points": points,
+        }
+    return out
+
+
+def report(result: Dict) -> str:
+    lines = []
+    for model, curve in result["curves"].items():
+        d_inf = curve["dense_inference"]
+        d_tr = curve["dense_train"]
+        d_bn = curve["dense_bn"]
+        rows = []
+        for p in curve["points"]:
+            has_ssl = "ssl_acc" in p
+            rows.append([
+                p["ratio"],
+                f"{p['pt_acc']:.3f}", f"{p['pt_inference'] / d_inf:.2f}",
+                f"{p['pt_train'] / d_tr:.2f}", f"{p['pt_bn'] / d_bn:.2f}",
+                f"{p['ssl_acc']:.3f}" if has_ssl else "-",
+                f"{p['ssl_inference'] / d_inf:.2f}" if has_ssl else "-",
+                f"{p['ssl_train'] / d_tr:.2f}" if has_ssl else "-",
+            ])
+        lines.append(table(
+            ["ratio", "PT acc", "PT inf", "PT train", "PT BN",
+             "SSL acc", "SSL inf", "SSL train"],
+            rows,
+            title=f"== Fig. 8: {model} on {result['dataset']} "
+                  f"(dense acc {curve['dense_acc']:.3f}; costs normalized "
+                  f"to dense) =="))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Fig. 9 & Tab. 4 — dynamic mini-batch adjustment.
+
+Fig. 9: per-iteration training-memory requirement across epochs, with the
+adjuster growing the mini-batch into freed capacity after reconfigurations.
+
+Tab. 4: naive PruneTrain vs batch-adjusted PruneTrain — modeled training
+time reduction (1080Ti and V100), final inference FLOPs, and accuracy delta
+vs the dense baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .configs import Scale
+from .format import pct, series, table
+from .runner import get_runs
+
+CASES = [("resnet50", "cifar100s"), ("resnet50-imagenet", "imagenet-s")]
+
+
+def run(scale: Scale, ratio: float = 0.25) -> Dict:
+    runs = get_runs(scale)
+    out: Dict = {"cases": {}}
+    for model, dataset in CASES:
+        _, dense = runs.dense(model, dataset)
+        _, naive = runs.prunetrain(model, dataset, ratio=ratio)
+        key_adj, adjusted = runs.prunetrain(model, dataset, ratio=ratio,
+                                            dynamic_batch=True)
+        rel_naive = naive.relative_to(dense)
+        rel_adj = adjusted.relative_to(dense)
+        out["cases"][f"{model}/{dataset}"] = {
+            "memory_naive": naive.series("memory_bytes"),
+            "memory_adjusted": adjusted.series("memory_bytes"),
+            "batch_naive": naive.series("batch_size"),
+            "batch_adjusted": adjusted.series("batch_size"),
+            "capacity": float(naive.records[0].memory_bytes * 1.1),
+            "tab4": [
+                {"method": "naive",
+                 "time_red_1080ti": 1 - rel_naive["time_ratio_1080ti"],
+                 "time_red_v100": 1 - rel_naive["time_ratio_v100"],
+                 "inference_flops": rel_naive["inference_flops_ratio"],
+                 "acc_delta": rel_naive["val_acc_delta"],
+                 "comm_ratio": rel_naive.get("comm_ratio", float("nan"))},
+                {"method": "adjusted",
+                 "time_red_1080ti": 1 - rel_adj["time_ratio_1080ti"],
+                 "time_red_v100": 1 - rel_adj["time_ratio_v100"],
+                 "inference_flops": rel_adj["inference_flops_ratio"],
+                 "acc_delta": rel_adj["val_acc_delta"],
+                 "comm_ratio": rel_adj.get("comm_ratio", float("nan"))},
+            ],
+        }
+    return out
+
+
+def report(result: Dict) -> str:
+    lines = []
+    for case, data in result["cases"].items():
+        lines.append(f"== Fig. 9: memory per iteration, {case} "
+                     f"(capacity {data['capacity'] / 1e6:.0f} MB) ==")
+        lines.append(series("  naive    MB",
+                            data["memory_naive"] / 1e6, "{:.0f}"))
+        lines.append(series("  adjusted MB",
+                            data["memory_adjusted"] / 1e6, "{:.0f}"))
+        lines.append(series("  batch sizes ",
+                            data["batch_adjusted"], "{:.0f}"))
+        lines.append(table(
+            ["method", "time red. (1080Ti)", "time red. (V100)",
+             "inf FLOPs", "acc Δ", "comm"],
+            [[r["method"], pct(r["time_red_1080ti"]),
+              pct(r["time_red_v100"]), pct(r["inference_flops"]),
+              f"{100 * r['acc_delta']:+.1f}%", pct(r["comm_ratio"])]
+             for r in data["tab4"]],
+            title=f"== Tab. 4: {case} =="))
+        lines.append("")
+    return "\n".join(lines)

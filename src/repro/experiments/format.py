@@ -1,0 +1,48 @@
+"""Plain-text table/series formatting for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+          ) -> str:
+    """Render an ASCII table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series(name: str, values: Sequence[float], fmt: str = "{:.3f}") -> str:
+    """Render one named numeric series on a line."""
+    vals = " ".join(fmt.format(v) for v in values)
+    return f"{name}: {vals}"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.001):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def pct(x: float) -> str:
+    return f"{100 * x:.1f}%"

@@ -1,0 +1,71 @@
+"""Tab. 2 — measured inference throughput (images/second), base vs pruned.
+
+The paper times the final trained models on a TITAN Xp at batch sizes 10 and
+100.  Here the measurement is real wall-clock of our NumPy engine on the
+dense baseline vs the PruneTrain-compressed model (same protocol: eval mode,
+best of several repeats).  Absolute img/s is CPU-scale; the paper-shape
+claims are the *relative* speedup >1 and larger batches helping utilization.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .configs import DATASETS, Scale, make_model
+from .format import table
+from .runner import get_runs
+
+PAIRS = [("resnet32", "cifar100s"), ("resnet50", "cifar100s"),
+         ("vgg11", "cifar100s"), ("vgg13", "cifar100s")]
+BATCHES = (10, 100)
+
+
+def _throughput(model, hw: int, batch: int, repeats: int = 3) -> float:
+    model.eval()
+    x = Tensor(np.random.default_rng(0).normal(
+        size=(batch, 3, hw, hw)).astype(np.float32))
+    with no_grad():
+        model(x)  # warmup
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            model(x)
+            best = min(best, time.perf_counter() - t0)
+    return batch / best
+
+
+def run(scale: Scale, ratio: float = 0.25) -> Dict:
+    runs = get_runs(scale)
+    rows: List[Dict] = []
+    for model_name, dataset in PAIRS:
+        key, _ = runs.prunetrain(model_name, dataset, ratio=ratio,
+                                 need_model=True)
+        pruned = runs.model_for(key)
+        dense = make_model(model_name, dataset, scale)
+        hw = scale.hw_large if DATASETS[dataset][2] else scale.hw
+        row = {"model": model_name, "dataset": dataset}
+        for b in BATCHES:
+            base = _throughput(dense, hw, b)
+            fast = _throughput(pruned, hw, b)
+            row[f"base_{b}"] = base
+            row[f"pruned_{b}"] = fast
+            row[f"speedup_{b}"] = fast / base
+        rows.append(row)
+    return {"rows": rows, "batches": BATCHES}
+
+
+def report(result: Dict) -> str:
+    b1, b2 = result["batches"]
+    return table(
+        ["model", "dataset", f"base@{b1}", f"pruned@{b1}", "speedup",
+         f"base@{b2}", f"pruned@{b2}", "speedup"],
+        [[r["model"], r["dataset"],
+          f"{r[f'base_{b1}']:.0f}", f"{r[f'pruned_{b1}']:.0f}",
+          f"{r[f'speedup_{b1}']:.2f}x",
+          f"{r[f'base_{b2}']:.0f}", f"{r[f'pruned_{b2}']:.0f}",
+          f"{r[f'speedup_{b2}']:.2f}x"] for r in result["rows"]],
+        title="== Tab. 2: measured inference throughput (img/s) ==")

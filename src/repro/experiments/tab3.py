@@ -1,0 +1,58 @@
+"""Tab. 3 — PruneTrain vs trial-and-error pruning (AMC-like) on ResNet-56.
+
+The paper: AMC reaches 50% inference FLOPs with -0.9% accuracy; PruneTrain
+reaches 34% FLOPs with -0.5% and additionally removes 21% of the layers.
+Here the comparator is the iterative magnitude-pruning-with-fine-tuning
+protocol (see ``repro.train.amc_like`` for the substitution note).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .configs import Scale
+from .format import pct, table
+from .runner import get_runs
+
+MODEL = "resnet56"
+DATASET = "cifar10s"
+
+
+def run(scale: Scale, ratio: float = 0.25,
+        amc_target: float = 0.5) -> Dict:
+    runs = get_runs(scale)
+    _, dense = runs.dense(MODEL, DATASET)
+    _, pt = runs.prunetrain(MODEL, DATASET, ratio=ratio)
+    _, amc = runs.amc_like(MODEL, DATASET,
+                           target_inference_ratio=amc_target)
+    dense_inf = dense.final_inference_flops
+    total_layers = 54  # resnet56 path convs
+    return {
+        "dense_acc": dense.final_val_acc,
+        "rows": [
+            {"method": "PruneTrain",
+             "acc_delta": pt.final_val_acc - dense.final_val_acc,
+             "inference_flops": pt.final_inference_flops / dense_inf,
+             "removed_layers": int(pt.records[-1].removed_layers),
+             "removed_frac": pt.records[-1].removed_layers / total_layers,
+             "train_flops": pt.total_train_flops / dense.total_train_flops},
+            {"method": "AMC-like",
+             "acc_delta": amc.final_val_acc - dense.final_val_acc,
+             "inference_flops": amc.final_inference_flops / dense_inf,
+             "removed_layers": int(amc.records[-1].removed_layers),
+             "removed_frac": amc.records[-1].removed_layers / total_layers,
+             "train_flops": amc.total_train_flops / dense.total_train_flops},
+        ],
+    }
+
+
+def report(result: Dict) -> str:
+    return table(
+        ["method", "acc Δ", "inference FLOPs", "removed layers",
+         "train FLOPs (incl. pretrain)"],
+        [[r["method"], f"{100 * r['acc_delta']:+.1f}%",
+          pct(r["inference_flops"]),
+          f"{r['removed_layers']} ({pct(r['removed_frac'])})",
+          pct(r["train_flops"])] for r in result["rows"]],
+        title=f"== Tab. 3: ResNet-56 compression "
+              f"(dense acc {result['dense_acc']:.3f}) ==")

@@ -1,0 +1,5 @@
+"""Persistence: checkpoints that survive dynamic reconfiguration."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = ["save_checkpoint", "load_checkpoint"]

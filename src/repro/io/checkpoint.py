@@ -1,0 +1,122 @@
+"""Checkpointing for dynamically reconfigured models.
+
+A PruneTrain checkpoint is not just weights: the architecture itself changes
+during training (channels removed, residual paths deactivated), so loading
+requires replaying the recorded *structure* onto a freshly built model
+before the weights fit.  A checkpoint stores:
+
+- every parameter and buffer (the model's ``state_dict``),
+- the per-space channel counts and the set of removed residual paths,
+- optionally the optimizer's momentum buffers (keyed by parameter name),
+- a free-form ``extra`` dict (epoch counters, λ, RNG seeds, ...).
+
+Loading builds the model with the caller's factory (original dense
+architecture), deactivates recorded paths, slices every space down to the
+recorded size, and then loads the arrays.  Channel identity inside a space
+is irrelevant at that point — the weights come from the checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.graph import ModelGraph
+from ..nn.module import Module
+from ..optim.sgd import SGD
+from ..prune.reconfigure import apply_space_masks
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(path: str, model: Module,
+                    optimizer: Optional[SGD] = None,
+                    extra: Optional[Dict] = None) -> None:
+    """Serialize model (+optimizer) to a single ``.npz`` file."""
+    graph: ModelGraph = model.graph
+    arrays: Dict[str, np.ndarray] = {}
+    for name, arr in model.state_dict().items():
+        arrays[f"state/{name}"] = arr
+    if optimizer is not None:
+        for name, p in model.named_parameters():
+            buf = optimizer.state_for(p)
+            if buf is not None:
+                arrays[f"momentum/{name}"] = buf
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "space_sizes": {str(sid): sp.size
+                        for sid, sp in graph.spaces.items()},
+        "inactive_paths": [p.name for p in graph.paths.values()
+                           if not getattr(p.block, "active", True)],
+        "extra": extra or {},
+    }
+    if optimizer is not None:
+        meta["optimizer"] = {"lr": optimizer.lr,
+                             "momentum": optimizer.momentum,
+                             "weight_decay": optimizer.weight_decay}
+    arrays["meta.json"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str, model_factory: Callable[[], Module],
+                    with_optimizer: bool = False
+                    ) -> Tuple[Module, Optional[SGD], Dict]:
+    """Rebuild a (possibly pruned) model from a checkpoint.
+
+    ``model_factory`` must construct the *original* architecture (same
+    factory and arguments used before training).  Returns
+    ``(model, optimizer_or_None, extra)``.
+    """
+    data = np.load(path if path.endswith(".npz") else path + ".npz")
+    meta = json.loads(bytes(data["meta.json"]).decode())
+    if meta["format_version"] != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version "
+                         f"{meta['format_version']}")
+    model = model_factory()
+    graph: ModelGraph = model.graph
+
+    # 1. replay layer removal
+    inactive = set(meta["inactive_paths"])
+    for p in graph.paths.values():
+        if p.name in inactive:
+            p.block.active = False
+            for attr in ("conv1", "bn1", "conv2", "bn2", "conv3", "bn3"):
+                if hasattr(p.block, attr):
+                    setattr(p.block, attr, None)
+
+    # 2. replay channel pruning (first-k masks; identity is arbitrary
+    #    because the checkpoint supplies the weights)
+    masks = {}
+    for sid, sp in graph.spaces.items():
+        size = int(meta["space_sizes"][str(sid)])
+        keep = np.zeros(sp.size, dtype=bool)
+        keep[:size] = True
+        masks[sid] = keep
+    apply_space_masks(model, masks)
+    graph.validate()
+
+    # 3. load arrays
+    state = {key[len("state/"):]: data[key]
+             for key in data.files if key.startswith("state/")}
+    model.load_state_dict(state)
+
+    optimizer = None
+    if with_optimizer:
+        if "optimizer" not in meta:
+            raise ValueError("checkpoint has no optimizer state")
+        cfg = meta["optimizer"]
+        optimizer = SGD(model.parameters(), lr=cfg["lr"],
+                        momentum=cfg["momentum"],
+                        weight_decay=cfg["weight_decay"])
+        params = dict(model.named_parameters())
+        for key in data.files:
+            if key.startswith("momentum/"):
+                name = key[len("momentum/"):]
+                if name in params:
+                    optimizer.set_state_for(params[name], data[key])
+    return model, optimizer, meta["extra"]

@@ -1,0 +1,51 @@
+"""BatchNorm running-statistic recalibration.
+
+On short schedules the EMA running statistics lag the fast-moving weights;
+in deep bottleneck networks the per-layer mismatch compounds and eval-mode
+logits explode.  The standard remedy (as in stochastic weight averaging's
+``update_bn``) is to recompute the running statistics as a *cumulative
+average* over a few forward passes of training data just before evaluation.
+This touches no learnable state and is architecture-agnostic: it walks the
+module tree for BatchNorm2d layers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .layers import BatchNorm2d
+from .module import Module
+
+
+def recalibrate_bn(model: Module, batches: Iterable[np.ndarray]) -> int:
+    """Recompute BN running stats as the average over ``batches``.
+
+    Returns the number of batches processed (0 leaves the model untouched).
+    The model's training/eval mode is restored afterwards.
+    """
+    bns = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+    if not bns:
+        return 0
+    saved_momentum = [bn.momentum for bn in bns]
+    was_training = getattr(model, "training", True)
+    n = 0
+    model.train()
+    try:
+        with no_grad():
+            for i, xb in enumerate(batches):
+                if i == 0:
+                    for bn in bns:
+                        bn.running_mean[:] = 0.0
+                        bn.running_var[:] = 0.0
+                for bn in bns:
+                    bn.momentum = 1.0 / (i + 1)  # cumulative average
+                model(Tensor(xb))
+                n += 1
+    finally:
+        for bn, mom in zip(bns, saved_momentum):
+            bn.momentum = mom
+        model.train(was_training)
+    return n

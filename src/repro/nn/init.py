@@ -1,0 +1,25 @@
+"""Weight initializers (Kaiming/He for ReLU networks, as in the paper's models)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(shape: tuple, fan_in: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """He-normal init: ``N(0, sqrt(2/fan_in))``, float32."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def conv_init(out_channels: int, in_channels: int, kh: int, kw: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """Kaiming init for a ``(K, C, R, S)`` filter bank."""
+    fan_in = in_channels * kh * kw
+    return kaiming_normal((out_channels, in_channels, kh, kw), fan_in, rng)
+
+
+def linear_init(out_features: int, in_features: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Kaiming init for a ``(out, in)`` weight matrix."""
+    return kaiming_normal((out_features, in_features), in_features, rng)

@@ -1,0 +1,6 @@
+"""Optimizers and learning-rate schedules."""
+
+from .lr_schedule import ConstantLR, LRSchedule, StepLR, milestones_for
+from .sgd import SGD
+
+__all__ = ["SGD", "LRSchedule", "ConstantLR", "StepLR", "milestones_for"]

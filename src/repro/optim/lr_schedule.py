@@ -1,0 +1,55 @@
+"""Learning-rate schedules.
+
+The paper trains with the He et al. step schedule (decay 10x at fixed
+fractions of training).  A schedule here returns a *base* LR per epoch; the
+trainer multiplies it by the dynamic mini-batch scaling factor (Sec. 4.3),
+keeping the two mechanisms composable and independent, exactly as in
+Algorithm 1 where ``UpdateMiniBatch`` adjusts both ``Msize`` and ``LR``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class LRSchedule:
+    """Base class: map epoch index -> base learning rate."""
+
+    def lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate for every epoch (fine-tuning phases)."""
+
+    def __init__(self, lr: float):
+        self.lr = float(lr)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepLR(LRSchedule):
+    """Piecewise-constant decay: multiply by ``gamma`` at each milestone.
+
+    ``StepLR(0.1, [91, 136], 0.1)`` is the classic CIFAR ResNet schedule.
+    """
+
+    def __init__(self, base_lr: float, milestones: Sequence[int],
+                 gamma: float = 0.1):
+        self.base_lr = float(base_lr)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        lr = self.base_lr
+        for m in self.milestones:
+            if epoch >= m:
+                lr *= self.gamma
+        return lr
+
+
+def milestones_for(total_epochs: int,
+                   fractions: Sequence[float] = (0.5, 0.75)) -> list:
+    """He-style milestones at fixed fractions of the training run."""
+    return [max(1, int(round(total_epochs * f))) for f in fractions]

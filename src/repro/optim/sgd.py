@@ -1,0 +1,73 @@
+"""SGD with momentum and (decoupled) L2 weight decay.
+
+Two PruneTrain-specific requirements shape this implementation:
+
+1. **Momentum buffers are keyed by parameter identity** and exposed through
+   :meth:`SGD.state_for`, so channel surgery can slice the momentum of pruned
+   parameters in lock-step with the weights ("all training variables of the
+   remaining channels are kept as is", Sec. 4.2).
+2. **The learning rate is mutable mid-training** (:attr:`SGD.lr`) for the
+   dynamic mini-batch adjustment's linear LR scaling rule.
+
+Updates are fully in-place (per the optimization guides): no per-step
+allocation beyond the gradient arrays autograd already produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent: ``v = m*v + g + wd*w; w -= lr*v``."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("no parameters to optimize")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def state_for(self, param: Parameter) -> Optional[np.ndarray]:
+        """Momentum buffer of ``param`` (None until first step)."""
+        return self._velocity.get(id(param))
+
+    def set_state_for(self, param: Parameter, buf: np.ndarray) -> None:
+        """Replace a momentum buffer (used by pruning surgery)."""
+        if buf.shape != param.data.shape:
+            raise ValueError(
+                f"momentum shape {buf.shape} != param shape {param.data.shape}")
+        self._velocity[id(param)] = np.ascontiguousarray(
+            buf, dtype=param.data.dtype)
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated in ``p.grad``."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                # in-place fused: g <- g + wd * w
+                g += self.weight_decay * p.data
+            v = self._velocity.get(id(p))
+            if v is None:
+                v = np.zeros_like(p.data)
+                self._velocity[id(p)] = v
+            v *= self.momentum
+            v += g
+            p.data -= self.lr * v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def scale_lr(self, factor: float) -> None:
+        """Multiply the learning rate (dynamic mini-batch linear scaling)."""
+        self.lr *= factor

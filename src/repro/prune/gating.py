@@ -1,0 +1,177 @@
+"""Channel gating — the indexing-based alternative to channel union (Fig. 5b).
+
+Channel gating inserts *select* (gather) and *scatter* layers at the
+boundaries of each residual path so that the convolutions inside the path
+only process their own dense channels.  Compared to channel union it saves
+the union's redundant FLOPs but pays for tensor reshaping: the gather and
+scatter are real memory copies.  The paper measures (Fig. 7) that this
+reshaping makes gating *slower* than union on real hardware despite fewer
+FLOPs — the observation motivating channel union.
+
+This module provides an executable gating runner (so the overhead can be
+measured on our engine for the Fig. 7 reproduction) and the per-path channel
+plans the FLOPs analytics use (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.graph import ModelGraph, ResidualPath
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .sparsity import DEFAULT_THRESHOLD, conv_sparsity
+
+
+@dataclass
+class ConvPlan:
+    """Gating-mode channel selection for one conv inside a residual path."""
+
+    name: str
+    in_idx: np.ndarray    # indices into the conv's *current* input dim
+    out_idx: np.ndarray   # indices into the conv's *current* output dim
+
+
+@dataclass
+class PathPlan:
+    """Gating plan for one residual path.
+
+    ``gather_idx``/``scatter_idx`` index the junction space: the select layer
+    gathers ``gather_idx`` from the block input; the scatter layer writes the
+    path output into ``scatter_idx`` of a zero junction-sized tensor.
+    """
+
+    path_name: str
+    convs: List[ConvPlan]
+    gather_idx: np.ndarray
+    scatter_idx: np.ndarray
+    junction_in: int
+    junction_out: int
+
+
+def _dense_idx(mask_sparse: np.ndarray) -> np.ndarray:
+    idx = np.flatnonzero(~mask_sparse)
+    if idx.size == 0:
+        idx = np.array([0])  # connectivity guard, mirrors union behaviour
+    return idx
+
+
+def path_plan(graph: ModelGraph, path: ResidualPath,
+              threshold: float = DEFAULT_THRESHOLD) -> PathPlan:
+    """Compute the gating channel plan of one residual path.
+
+    Within the path, adjacent convs share the *intersection* of their dense
+    channels; at the path boundary the select/scatter layers translate
+    between the junction space and the path's private dense indexing.
+    """
+    nodes = [graph.conv_by_name(n) for n in path.conv_names]
+    sps = [conv_sparsity(n, threshold) for n in nodes]
+    # interior space i (between conv i and conv i+1): dense where either side
+    # still uses the channel
+    interior: List[np.ndarray] = []
+    for i in range(len(nodes) - 1):
+        interior.append(_dense_idx(sps[i].out_sparse | sps[i + 1].in_sparse))
+    gather_idx = _dense_idx(sps[0].in_sparse)
+    scatter_idx = _dense_idx(sps[-1].out_sparse)
+    plans: List[ConvPlan] = []
+    for i, node in enumerate(nodes):
+        in_idx = gather_idx if i == 0 else interior[i - 1]
+        out_idx = scatter_idx if i == len(nodes) - 1 else interior[i]
+        plans.append(ConvPlan(node.name, in_idx, out_idx))
+    return PathPlan(path.name, plans,
+                    gather_idx, scatter_idx,
+                    junction_in=graph.spaces[nodes[0].in_space].size,
+                    junction_out=graph.spaces[nodes[-1].out_space].size)
+
+
+def all_path_plans(graph: ModelGraph,
+                   threshold: float = DEFAULT_THRESHOLD
+                   ) -> Dict[int, PathPlan]:
+    """Gating plans for every active residual path."""
+    return {pid: path_plan(graph, p, threshold)
+            for pid, p in graph.paths.items()
+            if getattr(p.block, "active", True)}
+
+
+class GatedPathRunner:
+    """Execute one residual path in gating mode (select -> convs -> scatter).
+
+    Weight slices are materialized once at construction; the per-call cost is
+    the gather copy, the (smaller) convolutions, and the scatter copy — the
+    exact cost structure the paper times in Fig. 7.
+    """
+
+    def __init__(self, graph: ModelGraph, path: ResidualPath,
+                 threshold: float = DEFAULT_THRESHOLD):
+        self.plan = path_plan(graph, path, threshold)
+        self.block = path.block
+        self._convs = []
+        nodes = [graph.conv_by_name(n) for n in path.conv_names]
+        for node, cp in zip(nodes, self.plan.convs):
+            w = np.ascontiguousarray(
+                node.conv.weight.data[np.ix_(cp.out_idx, cp.in_idx)])
+            bn = node.bn
+            self._convs.append({
+                "weight": Tensor(w),
+                "stride": node.conv.stride,
+                "padding": node.conv.padding,
+                "gamma": Tensor(bn.weight.data[cp.out_idx].copy()),
+                "beta": Tensor(bn.bias.data[cp.out_idx].copy()),
+                "mean": bn.running_mean[cp.out_idx].copy(),
+                "var": bn.running_var[cp.out_idx].copy(),
+                "eps": bn.eps,
+                "last": cp is self.plan.convs[-1],
+            })
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Path output scattered back to junction dimensionality (pre-add)."""
+        out = F.gather_channels(x, self.plan.gather_idx)  # the select layer
+        for spec in self._convs:
+            out = F.conv2d(out, spec["weight"], None, spec["stride"],
+                           spec["padding"])
+            out = F.batch_norm(out, spec["gamma"], spec["beta"], spec["mean"],
+                               spec["var"], training=False, eps=spec["eps"])
+            if not spec["last"]:
+                out = F.relu(out)
+        return F.scatter_channels(out, self.plan.scatter_idx,
+                                  self.plan.junction_out)
+
+
+class UnionPathRunner:
+    """Execute the same residual path in union mode (no indexing).
+
+    The convs run at full junction/interior dimensionality — including any
+    redundant sparse lanes — exactly what the paper's channel union does.
+    """
+
+    def __init__(self, graph: ModelGraph, path: ResidualPath):
+        self.block = path.block
+        nodes = [graph.conv_by_name(n) for n in path.conv_names]
+        self._convs = []
+        for node in nodes:
+            bn = node.bn
+            self._convs.append({
+                "weight": Tensor(node.conv.weight.data.copy()),
+                "stride": node.conv.stride,
+                "padding": node.conv.padding,
+                "gamma": Tensor(bn.weight.data.copy()),
+                "beta": Tensor(bn.bias.data.copy()),
+                "mean": bn.running_mean.copy(),
+                "var": bn.running_var.copy(),
+                "eps": bn.eps,
+                "last": node is nodes[-1],
+            })
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for spec in self._convs:
+            out = F.conv2d(out, spec["weight"], None, spec["stride"],
+                           spec["padding"])
+            out = F.batch_norm(out, spec["gamma"], spec["beta"], spec["mean"],
+                               spec["var"], training=False, eps=spec["eps"])
+            if not spec["last"]:
+                out = F.relu(out)
+        return out

@@ -1,0 +1,129 @@
+"""Channel sparsity analysis: which channels are zeroed, which may be pruned.
+
+The paper zeroes a channel group when all its weights fall below a small
+threshold (1e-4).  Whether a zeroed channel may actually be *removed* is a
+structural question answered over channel spaces (see
+:mod:`repro.nn.graph`): a channel of a space is prunable iff every active
+conv writing the space has sparsified the corresponding output channel and
+every active conv reading it has sparsified the corresponding input channel.
+For residual junction spaces this is exactly the paper's **channel union**;
+for plain chains it is the adjacent-layer intersection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..nn.graph import ConvNode, ModelGraph
+
+#: The paper's pruning threshold on absolute weight values (Sec. 4.1).
+DEFAULT_THRESHOLD = 1e-4
+
+
+@dataclass
+class ConvSparsity:
+    """Boolean sparsity of one conv's channel groups (True = zeroed)."""
+
+    in_sparse: np.ndarray   # (C,)
+    out_sparse: np.ndarray  # (K,)
+
+
+def conv_sparsity(node: ConvNode,
+                  threshold: float = DEFAULT_THRESHOLD) -> ConvSparsity:
+    """Max-|w| test per channel group of a single conv."""
+    w = np.abs(node.conv.weight.data)
+    in_sparse = w.max(axis=(0, 2, 3)) < threshold
+    out_sparse = w.max(axis=(1, 2, 3)) < threshold
+    return ConvSparsity(in_sparse, out_sparse)
+
+
+def all_conv_sparsity(graph: ModelGraph, threshold: float = DEFAULT_THRESHOLD
+                      ) -> Dict[str, ConvSparsity]:
+    """Sparsity of every active conv, keyed by conv name."""
+    return {n.name: conv_sparsity(n, threshold)
+            for n in graph.active_convs()}
+
+
+def space_keep_masks(graph: ModelGraph,
+                     threshold: float = DEFAULT_THRESHOLD
+                     ) -> Dict[int, np.ndarray]:
+    """Per-space boolean keep masks under the channel-union rule.
+
+    ``keep[c]`` is False only when *every* active writer's output channel c
+    and *every* active reader's input channel c are below threshold.  Frozen
+    spaces are always fully kept, and at least one channel is kept per space
+    so the network stays connected.
+    """
+    masks: Dict[int, np.ndarray] = {}
+    sparsity = all_conv_sparsity(graph, threshold)
+    for sid, space in graph.spaces.items():
+        if space.frozen:
+            masks[sid] = np.ones(space.size, dtype=bool)
+            continue
+        prunable = np.ones(space.size, dtype=bool)
+        touched = False
+        for node in graph.writers(sid):
+            prunable &= sparsity[node.name].out_sparse
+            touched = True
+        for node in graph.readers(sid):
+            prunable &= sparsity[node.name].in_sparse
+            touched = True
+        # Linear readers (the FC after global pooling) do not veto pruning:
+        # their columns for zeroed channels receive (near-)zero activations
+        # and are sliced away together with the channel.
+        if not touched:
+            # orphaned space (all members removed with their paths)
+            masks[sid] = np.ones(space.size, dtype=bool)
+            continue
+        keep = ~prunable
+        if not keep.any():
+            keep[0] = True  # connectivity guard
+        masks[sid] = keep
+    return masks
+
+
+@dataclass
+class DensityReport:
+    """Per-layer density numbers backing the paper's Fig. 12."""
+
+    layer_names: List[str] = field(default_factory=list)
+    channel_density: List[float] = field(default_factory=list)
+    weight_density: List[float] = field(default_factory=list)
+
+
+def density_report(graph: ModelGraph,
+                   threshold: float = DEFAULT_THRESHOLD) -> DensityReport:
+    """Channel density (in-dense x out-dense fraction) and elementwise weight
+    density of each active conv plus the FC layer(s)."""
+    rep = DensityReport()
+    for node in graph.active_convs():
+        sp = conv_sparsity(node, threshold)
+        c_dense = float((~sp.in_sparse).mean()) * float((~sp.out_sparse).mean())
+        w = node.conv.weight.data
+        w_dense = float((np.abs(w) >= threshold).mean())
+        rep.layer_names.append(node.name)
+        rep.channel_density.append(c_dense)
+        rep.weight_density.append(w_dense)
+    for lin in graph.linears:
+        w = lin.linear.weight.data
+        col_dense = float(
+            (np.abs(w).max(axis=0) >= threshold).mean())
+        rep.layer_names.append(lin.name)
+        rep.channel_density.append(col_dense)
+        rep.weight_density.append(float((np.abs(w) >= threshold).mean()))
+    return rep
+
+
+def model_channel_sparsity(graph: ModelGraph,
+                           threshold: float = DEFAULT_THRESHOLD) -> float:
+    """Fraction of all conv channel groups currently zeroed (monitoring)."""
+    total = 0
+    sparse = 0
+    for node in graph.active_convs():
+        sp = conv_sparsity(node, threshold)
+        total += sp.in_sparse.size + sp.out_sparse.size
+        sparse += int(sp.in_sparse.sum()) + int(sp.out_sparse.sum())
+    return sparse / total if total else 0.0

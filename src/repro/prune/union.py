@@ -1,0 +1,66 @@
+"""Channel-union bookkeeping and redundancy accounting (Fig. 5c, Fig. 6).
+
+The union rule itself is implemented once in
+:func:`repro.prune.sparsity.space_keep_masks` (it is the natural pruning rule
+over channel spaces).  This module provides the *analysis* side: which convs
+share each residual junction, and how many FLOPs the union mode spends on
+redundant (sparsified-but-kept) lanes relative to gating — the 1-6% the
+paper reports in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..nn.graph import ModelGraph
+from .sparsity import DEFAULT_THRESHOLD, conv_sparsity
+
+
+@dataclass
+class JunctionInfo:
+    """Members of one shared residual node (channel space)."""
+
+    space_id: int
+    name: str
+    size: int
+    writer_names: List[str]
+    reader_names: List[str]
+
+    @property
+    def member_count(self) -> int:
+        return len(self.writer_names) + len(self.reader_names)
+
+
+def junctions(graph: ModelGraph) -> List[JunctionInfo]:
+    """Channel spaces shared by more than two convs (the residual nodes)."""
+    out = []
+    for sid, space in graph.spaces.items():
+        if space.frozen:
+            continue
+        writers = [c.name for c in graph.writers(sid)]
+        readers = [c.name for c in graph.readers(sid)]
+        if len(writers) + len(readers) > 2:
+            out.append(JunctionInfo(sid, space.name, space.size,
+                                    writers, readers))
+    return out
+
+
+def union_redundancy(graph: ModelGraph,
+                     threshold: float = DEFAULT_THRESHOLD
+                     ) -> Dict[str, float]:
+    """Per-conv fraction of channel lanes that are sparse but kept by union.
+
+    These lanes are the "redundant operations" the paper accepts in exchange
+    for index-free execution.  Computed on the *current* model (call after a
+    union reconfiguration to see what gating would additionally remove).
+    """
+    out: Dict[str, float] = {}
+    for node in graph.active_convs():
+        sp = conv_sparsity(node, threshold)
+        total = sp.in_sparse.size + sp.out_sparse.size
+        sparse = int(sp.in_sparse.sum()) + int(sp.out_sparse.sum())
+        out[node.name] = sparse / total if total else 0.0
+    return out

@@ -1,0 +1,15 @@
+"""From-scratch NumPy autograd engine (the reproduction's PyTorch substitute).
+
+Public surface:
+
+- :class:`Tensor` — reverse-mode autodiff array.
+- :class:`no_grad` — context manager disabling graph recording.
+- :mod:`repro.tensor.functional` — conv2d, linear, batch_norm, pooling,
+  activations, losses, and the channel gather/scatter ops used by the
+  channel-gating baseline.
+"""
+
+from . import functional
+from .tensor import Tensor, grad_enabled, no_grad
+
+__all__ = ["Tensor", "no_grad", "grad_enabled", "functional"]

@@ -1,0 +1,197 @@
+"""Autograd-aware functional ops built on the raw kernels in ``repro.tensor.ops``.
+
+Each function takes and returns :class:`~repro.tensor.tensor.Tensor` objects
+and records the backward closure on the output node.  These are the
+primitives the ``repro.nn`` layer classes call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .ops import conv as _conv
+from .ops import loss as _loss
+from .ops import norm as _norm
+from .ops import pool as _pool
+from .tensor import Tensor, grad_enabled
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectifier."""
+    mask = x.data > 0
+    out_data = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor],
+           stride: int = 1, padding: int = 0, first_layer: bool = False
+           ) -> Tensor:
+    """2-D convolution, NCHW.  ``first_layer`` skips dx for the input layer."""
+    y, cols = _conv.conv2d_forward(
+        x.data, weight.data, bias.data if bias is not None else None,
+        stride, padding)
+    if not grad_enabled():
+        return Tensor(y)
+    x_shape = x.data.shape
+    w_data = weight.data
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+
+    def backward(g: np.ndarray) -> None:
+        need_dx = x.requires_grad or x._backward is not None
+        dx, dw, db = _conv.conv2d_backward(
+            g, cols, x_shape, w_data, stride, padding,
+            need_dx=need_dx and not first_layer)
+        if dx is not None:
+            x._accumulate(dx)
+        weight._accumulate(dw)
+        if bias is not None:
+            bias._accumulate(db)
+
+    return Tensor._make(y, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Affine map ``y = x @ W.T + b`` with ``W`` of shape ``(out, in)``."""
+    y = x.data @ weight.data.T
+    if bias is not None:
+        y = y + bias.data
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    w_data = weight.data
+    x_data = x.data
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g @ w_data)
+        weight._accumulate(g.T @ x_data)
+        if bias is not None:
+            bias._accumulate(g.sum(axis=0))
+
+    return Tensor._make(y, parents, backward)
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               momentum: float = 0.1, eps: float = 1e-5,
+               training: bool = True) -> Tensor:
+    """Channel-wise batch normalization for NCHW inputs."""
+    y, cache = _norm.batchnorm_forward(
+        x.data, gamma.data, beta.data, running_mean, running_var,
+        momentum, eps, training)
+    if not grad_enabled():
+        return Tensor(y)
+
+    def backward(g: np.ndarray) -> None:
+        if training:
+            dx, dgamma, dbeta = _norm.batchnorm_backward(g, cache)
+        else:
+            dx, dgamma, dbeta = _norm.batchnorm_eval_backward(g, cache)
+        x._accumulate(dx)
+        gamma._accumulate(dgamma)
+        beta._accumulate(dbeta)
+
+    return Tensor._make(y, (x, gamma, beta), backward)
+
+
+def max_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping max pooling (identity when input is below kernel size)."""
+    if x.data.shape[2] < kernel or x.data.shape[3] < kernel:
+        return x
+    y, mask = _pool.maxpool2d_forward(x.data, kernel)
+    x_shape = x.data.shape
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(_pool.maxpool2d_backward(g, mask, kernel, x_shape))
+
+    return Tensor._make(y, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling (identity when input is below kernel size)."""
+    if x.data.shape[2] < kernel or x.data.shape[3] < kernel:
+        return x
+    y = _pool.avgpool2d_forward(x.data, kernel)
+    x_shape = x.data.shape
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(_pool.avgpool2d_backward(g, kernel, x_shape))
+
+    return Tensor._make(y, (x,), backward)
+
+
+def global_avg_pool(x: Tensor) -> Tensor:
+    """Spatial mean pooling ``(N, C, H, W) -> (N, C)``."""
+    y = _pool.global_avgpool_forward(x.data)
+    x_shape = x.data.shape
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(_pool.global_avgpool_backward(g, x_shape))
+
+    return Tensor._make(y, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy against integer labels."""
+    targets = np.asarray(targets)
+    loss, probs = _loss.cross_entropy_forward(logits.data, targets)
+
+    def backward(g: np.ndarray) -> None:
+        logits._accumulate(_loss.cross_entropy_backward(probs, targets) * g)
+
+    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype),
+                        (logits,), backward)
+
+
+def pad_channels(x: Tensor, total: int) -> Tensor:
+    """Zero-pad the channel dimension of NCHW ``x`` up to ``total`` channels.
+
+    Used by the channel-*gating* scatter stage and by projection-free
+    short-cuts; the gradient simply drops the padded lanes.
+    """
+    n, c, h, w = x.data.shape
+    if total < c:
+        raise ValueError(f"cannot pad {c} channels down to {total}")
+    if total == c:
+        return x
+    out = np.zeros((n, total, h, w), dtype=x.data.dtype)
+    out[:, :c] = x.data
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g[:, :c])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def gather_channels(x: Tensor, idx: np.ndarray) -> Tensor:
+    """Select a subset of channels (the gating *select* layer).
+
+    This is the tensor-reshaping / indexing operation whose cost the paper's
+    channel-union design avoids (Fig. 7): the fancy-index forces a copy.
+    """
+    idx = np.asarray(idx)
+    out = np.ascontiguousarray(x.data[:, idx])
+    x_shape = x.data.shape
+
+    def backward(g: np.ndarray) -> None:
+        full = np.zeros(x_shape, dtype=g.dtype)
+        full[:, idx] = g
+        x._accumulate(full)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def scatter_channels(x: Tensor, idx: np.ndarray, total: int) -> Tensor:
+    """Scatter channels back into a dense ``total``-channel tensor (gating)."""
+    idx = np.asarray(idx)
+    n, c, h, w = x.data.shape
+    out = np.zeros((n, total, h, w), dtype=x.data.dtype)
+    out[:, idx] = x.data
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(np.ascontiguousarray(g[:, idx]))
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,5 @@
+"""Raw (graph-free) numerical kernels behind ``repro.tensor.functional``."""
+
+from . import conv, loss, norm, pool
+
+__all__ = ["conv", "loss", "norm", "pool"]

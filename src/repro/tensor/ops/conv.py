@@ -1,0 +1,136 @@
+"""Vectorized 2-D convolution kernels (im2col + GEMM).
+
+Following the hpc-parallel optimization guides, the convolution is lowered to
+a single large matrix multiplication per call: patches are extracted with
+``numpy.lib.stride_tricks.sliding_window_view`` (a zero-copy view), reshaped
+once, and multiplied against the flattened filter bank.  The backward pass
+reuses the same column matrix for the weight gradient and scatters the input
+gradient back with an ``R*S``-iteration strided accumulation (9 iterations
+for a 3x3 kernel) instead of an elementwise ``np.add.at`` scatter, which is
+orders of magnitude slower.
+
+Layout conventions (PyTorch-compatible):
+  activations ``(N, C, H, W)``, filters ``(K, C, R, S)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def conv_out_size(h: int, w: int, r: int, s: int, stride: int,
+                  padding: int) -> Tuple[int, int]:
+    """Spatial output size of a convolution."""
+    ho = (h + 2 * padding - r) // stride + 1
+    wo = (w + 2 * padding - s) // stride + 1
+    return ho, wo
+
+
+def im2col(x: np.ndarray, r: int, s: int, stride: int,
+           padding: int) -> np.ndarray:
+    """Extract convolution patches as a matrix.
+
+    Returns an array of shape ``(N*Ho*Wo, C*R*S)``.  The returned matrix is a
+    contiguous copy (the GEMM needs contiguity anyway); the patch extraction
+    itself is a strided view.
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # (N, C, Ho', Wo', R, S) where Ho' spans all window starts
+    windows = sliding_window_view(x, (r, s), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    n_, c_, ho, wo = windows.shape[:4]
+    # -> (N, Ho, Wo, C, R, S) -> (N*Ho*Wo, C*R*S)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n_ * ho * wo, c_ * r * s)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(dcols: np.ndarray, x_shape: Tuple[int, int, int, int], r: int,
+           s: int, stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col` — scatter-add patch gradients back.
+
+    ``dcols`` has shape ``(N*Ho*Wo, C*R*S)``.
+    """
+    n, c, h, w = x_shape
+    ho, wo = conv_out_size(h, w, r, s, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dxp = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    # (N, Ho, Wo, C, R, S)
+    d6 = dcols.reshape(n, ho, wo, c, r, s).transpose(0, 3, 4, 5, 1, 2)
+    # now (N, C, R, S, Ho, Wo); accumulate each (r, s) offset as one strided add
+    for ri in range(r):
+        h_end = ri + stride * ho
+        for si in range(s):
+            w_end = si + stride * wo
+            dxp[:, :, ri:h_end:stride, si:w_end:stride] += d6[:, :, ri, si]
+    if padding > 0:
+        return dxp[:, :, padding:padding + h, padding:padding + w]
+    return dxp
+
+
+def _is_pointwise(r: int, s: int, padding: int) -> bool:
+    return r == 1 and s == 1 and padding == 0
+
+
+def conv2d_forward(x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
+                   stride: int, padding: int
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Forward convolution.  Returns ``(y, cols)``; ``cols`` is kept for backward.
+
+    1x1 convolutions (over half the layers of a bottleneck ResNet) take a
+    fast path: the "patch matrix" is just a channel-last reshape of the
+    (strided) input, so no sliding-window extraction happens at all.
+    """
+    n, c, h, wd = x.shape
+    k, c2, r, s = w.shape
+    if c != c2:
+        raise ValueError(f"channel mismatch: input has {c}, filters expect {c2}")
+    ho, wo = conv_out_size(h, wd, r, s, stride, padding)
+    if _is_pointwise(r, s, padding):
+        xs = x[:, :, ::stride, ::stride] if stride > 1 else x
+        cols = np.ascontiguousarray(
+            xs.transpose(0, 2, 3, 1)).reshape(n * ho * wo, c)
+    else:
+        cols = im2col(x, r, s, stride, padding)        # (N*Ho*Wo, C*R*S)
+    w_mat = w.reshape(k, c * r * s)                    # (K, C*R*S)
+    y = cols @ w_mat.T                                 # (N*Ho*Wo, K)
+    if b is not None:
+        y += b
+    y = y.reshape(n, ho, wo, k).transpose(0, 3, 1, 2)  # (N, K, Ho, Wo)
+    return np.ascontiguousarray(y), cols
+
+
+def conv2d_backward(dy: np.ndarray, cols: np.ndarray,
+                    x_shape: Tuple[int, int, int, int], w: np.ndarray,
+                    stride: int, padding: int, need_dx: bool = True
+                    ) -> Tuple[Optional[np.ndarray], np.ndarray,
+                               Optional[np.ndarray]]:
+    """Backward convolution.
+
+    Returns ``(dx, dw, db)``.  ``dx`` is ``None`` when ``need_dx`` is false
+    (first layer of a network).
+    """
+    n, c, h, wd = x_shape
+    k, _, r, s = w.shape
+    # dy: (N, K, Ho, Wo) -> (N*Ho*Wo, K)
+    dy_mat = np.ascontiguousarray(dy.transpose(0, 2, 3, 1)).reshape(-1, k)
+    dw = (dy_mat.T @ cols).reshape(k, c, r, s)
+    db = dy_mat.sum(axis=0)
+    dx = None
+    if need_dx:
+        dcols = dy_mat @ w.reshape(k, c * r * s)       # (N*Ho*Wo, C*R*S)
+        if _is_pointwise(r, s, padding):
+            ho, wo = conv_out_size(h, wd, r, s, stride, padding)
+            d4 = dcols.reshape(n, ho, wo, c).transpose(0, 3, 1, 2)
+            if stride > 1:
+                dx = np.zeros(x_shape, dtype=dcols.dtype)
+                dx[:, :, ::stride, ::stride] = d4
+            else:
+                dx = np.ascontiguousarray(d4)
+        else:
+            dx = col2im(dcols, x_shape, r, s, stride, padding)
+    return dx, dw, db

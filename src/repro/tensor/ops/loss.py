@@ -1,0 +1,53 @@
+"""Loss kernels: fused softmax cross-entropy.
+
+The classification term of Eq. 1 in the paper.  Fusing softmax with the
+negative log-likelihood gives the numerically stable ``logits - logsumexp``
+formulation and the famously simple gradient ``softmax(x) - onehot(y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_forward(logits: np.ndarray, targets: np.ndarray
+                          ) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss over a batch.
+
+    Parameters
+    ----------
+    logits: ``(N, num_classes)`` raw scores.
+    targets: ``(N,)`` integer class labels.
+
+    Returns ``(loss, probs)``; ``probs`` is cached for backward.
+    """
+    n = logits.shape[0]
+    z = logits - logits.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(z).sum(axis=1))
+    nll = logsumexp - z[np.arange(n), targets]
+    probs = np.exp(z - logsumexp[:, None])
+    return float(nll.mean()), probs
+
+
+def cross_entropy_backward(probs: np.ndarray, targets: np.ndarray
+                           ) -> np.ndarray:
+    """Gradient of mean CE loss w.r.t. logits: ``(probs - onehot)/N``."""
+    n = probs.shape[0]
+    dlogits = probs.copy()
+    dlogits[np.arange(n), targets] -= 1.0
+    dlogits /= n
+    return dlogits
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    return float((logits.argmax(axis=1) == targets).mean())

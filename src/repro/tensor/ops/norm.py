@@ -1,0 +1,76 @@
+"""Batch normalization kernels.
+
+Batch normalization is the paper's canonical *memory-bandwidth-bound* layer:
+it reads its input several times (mean, variance, normalize) at trivial
+arithmetic intensity, which is why PruneTrain's channel pruning cuts BN
+memory traffic roughly in proportion to channel count (Sec. 5.1, Fig. 8 "BN
+cost").  The kernels below use the standard two-pass formulation and the
+fused backward expression from Ioffe & Szegedy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def batchnorm_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                      running_mean: np.ndarray, running_var: np.ndarray,
+                      momentum: float, eps: float, training: bool
+                      ) -> Tuple[np.ndarray, tuple]:
+    """BatchNorm over (N, H, W) for each channel of an ``(N, C, H, W)`` input.
+
+    Running statistics are updated **in place** during training (in-place
+    updates per the optimization guide — no reallocation per step).
+    Returns ``(y, cache)``.
+    """
+    if training:
+        m = x.shape[0] * x.shape[2] * x.shape[3]
+        mu = x.mean(axis=(0, 2, 3))
+        # single-pass variance: E[x^2] - E[x]^2 (one einsum, no temporaries)
+        ex2 = np.einsum("nchw,nchw->c", x, x,
+                        dtype=np.float64 if x.dtype == np.float64
+                        else np.float32) / m
+        var = np.maximum(ex2 - mu * mu, 0.0)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mu
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mu, var = running_mean, running_var
+    inv_std = 1.0 / np.sqrt(var + eps)
+    # fused affine: y = x * a + b with a = gamma*inv_std, per channel
+    xhat = x * inv_std[None, :, None, None]
+    xhat -= (mu * inv_std)[None, :, None, None]
+    y = xhat * gamma[None, :, None, None]
+    y += beta[None, :, None, None]
+    cache = (xhat, gamma, inv_std)
+    return y, cache
+
+
+def batchnorm_backward(dy: np.ndarray, cache: tuple
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(dx, dgamma, dbeta)`` (training-mode statistics)."""
+    xhat, gamma, inv_std = cache
+    n, c, h, w = dy.shape
+    m = n * h * w
+    dgamma = (dy * xhat).sum(axis=(0, 2, 3))
+    dbeta = dy.sum(axis=(0, 2, 3))
+    # dx = (gamma*inv_std/m) * (m*dy - dbeta - xhat*dgamma)
+    dx = (gamma * inv_std)[None, :, None, None] / m * (
+        m * dy
+        - dbeta[None, :, None, None]
+        - xhat * dgamma[None, :, None, None]
+    )
+    return dx, dgamma, dbeta
+
+
+def batchnorm_eval_backward(dy: np.ndarray, cache: tuple
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward when forward used running statistics (rarely needed)."""
+    xhat, gamma, inv_std = cache
+    dgamma = (dy * xhat).sum(axis=(0, 2, 3))
+    dbeta = dy.sum(axis=(0, 2, 3))
+    dx = dy * (gamma * inv_std)[None, :, None, None]
+    return dx, dgamma, dbeta

@@ -1,0 +1,80 @@
+"""Pooling kernels: max pooling, average pooling, global average pooling.
+
+Max pooling is restricted to the non-overlapping case (``kernel == stride``)
+used by every model in the paper (VGG 2x2/2, ResNet stem 3x3/2 is replaced by
+stride-2 convolutions in the CIFAR variants; the ImageNet stem uses a 2x2/2
+approximation — see ``repro.nn.resnet``).  Non-overlapping windows let both
+passes be pure reshapes, the fastest possible NumPy formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def maxpool2d_forward(x: np.ndarray, k: int
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Non-overlapping ``k x k`` max pool.  Returns ``(y, argmax_mask)``."""
+    n, c, h, w = x.shape
+    if h % k or w % k:
+        # truncate ragged edge (matches PyTorch's default floor behaviour)
+        x = x[:, :, : (h // k) * k, : (w // k) * k]
+        n, c, h, w = x.shape
+    ho, wo = h // k, w // k
+    blocks = x.reshape(n, c, ho, k, wo, k)
+    y = blocks.max(axis=(3, 5))
+    # mask marking (one of the) max positions per window, used for backward
+    mask = blocks == y[:, :, :, None, :, None]
+    # Break ties: keep only the first max in each window so gradient mass is
+    # conserved (sum of mask per window == 1).
+    flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, ho, wo, k * k)
+    first = np.argmax(flat, axis=-1)
+    mask = np.zeros_like(flat, dtype=bool)
+    np.put_along_axis(mask, first[..., None], True, axis=-1)
+    mask = mask.reshape(n, c, ho, wo, k, k).transpose(0, 1, 2, 4, 3, 5)
+    return np.ascontiguousarray(y), mask
+
+
+def maxpool2d_backward(dy: np.ndarray, mask: np.ndarray, k: int,
+                       x_shape: Tuple[int, int, int, int]) -> np.ndarray:
+    n, c, h, w = x_shape
+    ho, wo = dy.shape[2], dy.shape[3]
+    dblocks = mask * dy[:, :, :, None, :, None]
+    dx = dblocks.reshape(n, c, ho * k, wo * k)
+    if dx.shape[2] != h or dx.shape[3] != w:
+        full = np.zeros(x_shape, dtype=dy.dtype)
+        full[:, :, : dx.shape[2], : dx.shape[3]] = dx
+        return full
+    return dx
+
+
+def avgpool2d_forward(x: np.ndarray, k: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    if h % k or w % k:
+        x = x[:, :, : (h // k) * k, : (w // k) * k]
+        n, c, h, w = x.shape
+    return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+
+def avgpool2d_backward(dy: np.ndarray, k: int,
+                       x_shape: Tuple[int, int, int, int]) -> np.ndarray:
+    n, c, h, w = x_shape
+    g = np.repeat(np.repeat(dy, k, axis=2), k, axis=3) / (k * k)
+    if g.shape[2] != h or g.shape[3] != w:
+        full = np.zeros(x_shape, dtype=dy.dtype)
+        full[:, :, : g.shape[2], : g.shape[3]] = g
+        return full
+    return g
+
+
+def global_avgpool_forward(x: np.ndarray) -> np.ndarray:
+    """Spatial mean: ``(N, C, H, W) -> (N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def global_avgpool_backward(dy: np.ndarray,
+                            x_shape: Tuple[int, int, int, int]) -> np.ndarray:
+    n, c, h, w = x_shape
+    return np.broadcast_to(dy[:, :, None, None] / (h * w), x_shape).copy()

@@ -1,0 +1,20 @@
+"""Trainers: dense baseline, PruneTrain (Algorithm 1), and the paper's
+comparators — SSL, one-time reconfiguration, and AMC-like pruning."""
+
+from .amc_like import AMCLikeConfig, AMCLikePruner, channel_importance
+from .finetune import fine_tune
+from .metrics import EpochRecord, RunLog
+from .onetime import OneTimeConfig, OneTimeTrainer
+from .prunetrain import PruneTrainConfig, PruneTrainTrainer
+from .ssl import SSLConfig, SSLTrainer
+from .trainer import Trainer, TrainerConfig
+
+__all__ = [
+    "Trainer", "TrainerConfig",
+    "PruneTrainTrainer", "PruneTrainConfig",
+    "SSLTrainer", "SSLConfig",
+    "OneTimeTrainer", "OneTimeConfig",
+    "AMCLikePruner", "AMCLikeConfig", "channel_importance",
+    "fine_tune",
+    "EpochRecord", "RunLog",
+]

@@ -1,0 +1,129 @@
+"""Run logging: per-epoch records and run summaries.
+
+Every trainer emits a :class:`RunLog`; the experiment runners and benchmark
+harness consume these to regenerate the paper's tables and figures, so the
+record deliberately includes every quantity the paper plots: FLOPs per
+iteration, cumulative training FLOPs, BN traffic, communication bytes,
+memory requirement, batch size, modeled epoch time per device, and accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class EpochRecord:
+    """Everything measured at the end of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_acc: float
+    val_acc: float
+    reg_loss: float = 0.0
+    lam: float = 0.0
+    lr: float = 0.0
+    batch_size: int = 0
+    params: int = 0
+    inference_flops: float = 0.0          # per sample
+    train_flops_per_sample: float = 0.0   # per sample per iteration
+    cumulative_train_flops: float = 0.0   # over the whole run so far
+    memory_bytes: float = 0.0             # per-iteration training context
+    bn_bytes_per_iter: float = 0.0
+    comm_bytes_epoch: float = 0.0         # per-worker, this epoch
+    epoch_time_model: Dict[str, float] = field(default_factory=dict)
+    channel_sparsity: float = 0.0
+    removed_layers: int = 0
+    wall_time: float = 0.0
+
+
+@dataclass
+class RunLog:
+    """A full training run's trajectory plus identity metadata."""
+
+    model_name: str = ""
+    dataset_name: str = ""
+    method: str = ""
+    records: List[EpochRecord] = field(default_factory=list)
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def append(self, rec: EpochRecord) -> None:
+        self.records.append(rec)
+
+    # -- summaries ----------------------------------------------------------
+    @property
+    def final_val_acc(self) -> float:
+        return self.records[-1].val_acc if self.records else 0.0
+
+    @property
+    def best_val_acc(self) -> float:
+        return max((r.val_acc for r in self.records), default=0.0)
+
+    @property
+    def total_train_flops(self) -> float:
+        return self.records[-1].cumulative_train_flops if self.records else 0.0
+
+    @property
+    def final_inference_flops(self) -> float:
+        return self.records[-1].inference_flops if self.records else 0.0
+
+    @property
+    def total_comm_bytes(self) -> float:
+        return sum(r.comm_bytes_epoch for r in self.records)
+
+    @property
+    def total_bn_bytes(self) -> float:
+        """Total BN traffic over the run (iterations x per-iter bytes)."""
+        return sum(r.bn_bytes_per_iter * self._iters(r) for r in self.records)
+
+    def total_epoch_time(self, device: str) -> float:
+        return sum(r.epoch_time_model.get(device, 0.0) for r in self.records)
+
+    def _iters(self, rec: EpochRecord) -> int:
+        n = self.notes.get("train_size", 0)
+        return int(np.ceil(n / rec.batch_size)) if rec.batch_size else 0
+
+    def series(self, attr: str) -> np.ndarray:
+        """Per-epoch series of any :class:`EpochRecord` attribute."""
+        return np.array([getattr(r, attr) for r in self.records])
+
+    def relative_to(self, baseline: "RunLog") -> Dict[str, float]:
+        """Headline ratios vs a dense baseline (the Tab. 1 columns)."""
+        out: Dict[str, float] = {}
+        if baseline.total_train_flops:
+            out["train_flops_ratio"] = (self.total_train_flops
+                                        / baseline.total_train_flops)
+        if baseline.final_inference_flops:
+            out["inference_flops_ratio"] = (self.final_inference_flops
+                                            / baseline.final_inference_flops)
+        out["val_acc_delta"] = self.final_val_acc - baseline.final_val_acc
+        if baseline.total_comm_bytes:
+            out["comm_ratio"] = self.total_comm_bytes \
+                / baseline.total_comm_bytes
+        if baseline.total_bn_bytes:
+            out["bn_ratio"] = self.total_bn_bytes / baseline.total_bn_bytes
+        for dev in ("1080ti", "v100", "titanxp"):
+            b = baseline.total_epoch_time(dev)
+            if b:
+                out[f"time_ratio_{dev}"] = self.total_epoch_time(dev) / b
+        return out
+
+    # -- (de)serialization (experiment run cache) ---------------------------
+    def to_dict(self) -> dict:
+        return {
+            "model_name": self.model_name,
+            "dataset_name": self.dataset_name,
+            "method": self.method,
+            "notes": dict(self.notes),
+            "records": [asdict(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunLog":
+        log = cls(model_name=d["model_name"], dataset_name=d["dataset_name"],
+                  method=d["method"], notes=dict(d["notes"]))
+        log.records = [EpochRecord(**r) for r in d["records"]]
+        return log

@@ -1,0 +1,181 @@
+"""PruneTrain — Algorithm 1 of the paper.
+
+Training proceeds like the dense baseline, plus:
+
+1. On the **first iteration**, the group-lasso coefficient λ is set from the
+   target penalty ratio (Eq. 3) using the first forward pass's
+   classification loss and the regularizer value at initialization.
+2. Every step, the group-lasso subgradients are added after back-propagation
+   (``loss = loss1 + λ·loss2`` in Algorithm 1).
+3. Every ``reconfig_interval`` epochs, sparsified channels are pruned and
+   the network is reconfigured into a smaller dense model
+   (:func:`repro.prune.reconfigure.prune_and_reconfigure`), carrying over
+   momentum and BN state.
+4. Optionally (Sec. 4.3), a :class:`~repro.distributed.DynamicBatchAdjuster`
+   grows the mini-batch into the freed memory and the LR is scaled linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..distributed import DynamicBatchAdjuster
+from ..nn.module import Module
+from ..prune import (ChannelTracker, GroupLasso, PruneReport,
+                     prune_and_reconfigure)
+from ..prune.sparsity import DEFAULT_THRESHOLD
+from .trainer import Trainer, TrainerConfig
+
+
+@dataclass
+class PruneTrainConfig(TrainerConfig):
+    """PruneTrain hyperparameters on top of the dense recipe.
+
+    ``penalty_ratio`` is the paper's *lasso penalty ratio* (Eq. 3): the
+    target fraction of total loss contributed by regularization at
+    initialization.  The paper's robust range is 0.2-0.25; its sweeps go
+    down to 0.05.  ``reconfig_interval`` is the only other new
+    hyperparameter (10 epochs for CIFAR, 5 for ImageNet in the paper).
+    """
+
+    penalty_ratio: float = 0.25
+    reconfig_interval: int = 10
+    #: Pruning threshold.  ``None`` (recommended) derives it at λ-setup time
+    #: as ``max(paper 1e-4, threshold_floor_mult · lr · λ)`` — the
+    #: subgradient of a zeroed group oscillates within ~lr·λ of the origin,
+    #: so the detection threshold must sit just above that floor, wherever
+    #: λ ends up after horizon compression.
+    threshold: Optional[float] = None
+    threshold_floor_mult: float = 3.0
+    #: Horizon-compression factor for λ.  The sparsification depth of group
+    #: lasso is ∝ λ · Σ_t lr_t (the group norm shrinks by ~lr·λ per step), so
+    #: reproducing the paper's trajectory *shape* on a run with T× fewer
+    #: iterations requires scaling λ by ~T — a pure time-rescaling of the
+    #: sparsification ODE.  1.0 reproduces the paper's exact Eq.-3 setup; the
+    #: experiment presets compute the factor from their compressed schedules
+    #: (see repro.experiments.configs.lambda_scale_for).
+    lambda_scale: float = 1.0
+    #: λ setup mode.  ``"ratio"`` is the paper's Eq. 3 (λ ∝ L/R) times
+    #: ``lambda_scale``.  ``"rate"`` instead fixes the *norm-decay budget*:
+    #: λ = strength · decay_budget · median_init_norm / (2 Σ_t lr_t), with
+    #: strength = (ratio/(1-ratio)) / (0.25/0.75).  Both agree at the
+    #: paper's own horizon (Eq. 3 at ratio 0.25 implies a decay budget of
+    #: ~4-6 init norms over 71k iterations), but Eq. 3 makes λ ∝ 1/R — so on
+    #: *compressed* schedules larger models sparsify ∝ R more slowly and may
+    #: never reach the threshold.  "rate" keeps the sparsification timescale
+    #: a fixed fraction of the run for every architecture.
+    #: Default 2.5 ≡ the paper's own operating point: Eq.-3 λ at ratio 0.25
+    #: over the paper's 71k-iteration schedule decays each group norm by
+    #: ~2.5x the median Kaiming init norm (which is ~sqrt(2) for every conv).
+    lambda_mode: str = "ratio"
+    decay_budget: float = 2.5
+    remove_layers: bool = True
+    zero_sparse: bool = False
+    per_group_size_scaling: bool = False   # ablation: prior-work scaling
+    #: stop reconfiguring this many epochs before the end (final model
+    #: stabilization; pruning in the last LR phase has nothing left to give)
+    last_reconfig_margin: int = 0
+
+
+class PruneTrainTrainer(Trainer):
+    """The paper's training mechanism."""
+
+    method_name = "prunetrain"
+
+    def __init__(self, model: Module, train_set, val_set,
+                 config: Optional[PruneTrainConfig] = None,
+                 batch_adjuster: Optional[DynamicBatchAdjuster] = None,
+                 track_convs: Sequence[str] = ()):
+        super().__init__(model, train_set, val_set,
+                         config or PruneTrainConfig())
+        self.cfg: PruneTrainConfig
+        self.lasso = GroupLasso(
+            model.graph,
+            per_group_size_scaling=self.cfg.per_group_size_scaling)
+        self.batch_adjuster = batch_adjuster
+        self.tracker = ChannelTracker(model.graph, track_convs) \
+            if track_convs else None
+        self.reports: List[PruneReport] = []
+
+    # -- Algorithm 1 hooks ---------------------------------------------------
+    def on_first_batch(self, cls_loss: float) -> None:
+        """Line 12-13: set λ once, from the very first iteration's losses."""
+        if self.cfg.lambda_mode == "ratio":
+            self.lasso.set_coefficient(cls_loss, self.cfg.penalty_ratio)
+            self.lasso.lam *= self.cfg.lambda_scale
+        elif self.cfg.lambda_mode == "rate":
+            self.lasso.lam = self._rate_lambda()
+        else:
+            raise ValueError(f"unknown lambda_mode "
+                             f"{self.cfg.lambda_mode!r}")
+        if self.cfg.threshold is None:
+            self.cfg.threshold = max(
+                DEFAULT_THRESHOLD,
+                self.cfg.threshold_floor_mult * self.cfg.lr * self.lasso.lam)
+
+    def _rate_lambda(self) -> float:
+        """Decay-budget λ (see ``PruneTrainConfig.lambda_mode``)."""
+        norms = []
+        for node in self.model.graph.active_convs():
+            w = node.conv.weight.data
+            norms.append(np.sqrt(np.einsum("kcrs,kcrs->k", w, w)))
+        n_typ = float(np.median(np.concatenate(norms)))
+        iters = max(1, self.loader.batches_per_epoch())
+        sum_lr = sum(self.schedule.lr_at(e)
+                     for e in range(self.cfg.epochs)) * iters
+        ratio = self.cfg.penalty_ratio
+        strength = (ratio / (1.0 - ratio)) / (0.25 / 0.75)
+        return strength * self.cfg.decay_budget * n_typ / (2.0 * sum_lr)
+
+    def post_backward(self) -> float:
+        """Line 10/16: add the group-lasso subgradients after backprop."""
+        if self.lasso.lam is None:
+            return 0.0
+        self.lasso.add_gradients()
+        return self.lasso.loss()
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Line 18-22: periodic prune + reconfigure (+ batch adjustment)."""
+        if self.tracker is not None:
+            self.tracker.record()
+        interval = self.cfg.reconfig_interval
+        last_ok = self.cfg.epochs - self.cfg.last_reconfig_margin
+        if interval <= 0 or (epoch + 1) % interval != 0 \
+                or (epoch + 1) >= last_ok:
+            return
+        self._reconfigure(epoch)
+
+    def _reconfigure(self, epoch: int) -> None:
+        def on_masks(masks):
+            if self.tracker is None:
+                return
+            for name in self.tracker.conv_names:
+                try:
+                    node = self.model.graph.conv_by_name(name)
+                except KeyError:
+                    continue
+                if self.model.graph._active(node):
+                    self.tracker.note_reconfigure(name, masks[node.out_space])
+
+        report = prune_and_reconfigure(
+            self.model, self.optimizer, self.cfg.threshold,
+            remove_layers=self.cfg.remove_layers,
+            zero_sparse=self.cfg.zero_sparse, on_masks=on_masks)
+        self.reports.append(report)
+
+        if self.batch_adjuster is not None:
+            adj = self.batch_adjuster.propose(self.model.graph,
+                                              self.loader.batch_size)
+            if adj.changed:
+                self.loader.set_batch_size(adj.new_batch)
+                self.lr_scale *= adj.lr_scale
+
+    # -- record extras ------------------------------------------------------
+    def _make_record(self, epoch, train_loss, train_acc, comm_epoch):
+        rec = super()._make_record(epoch, train_loss, train_acc, comm_epoch)
+        rec.reg_loss = self.lasso.loss()
+        rec.lam = self.lasso.lam or 0.0
+        return rec

@@ -1,0 +1,203 @@
+"""Dense baseline trainer — the reference every PruneTrain run is compared to.
+
+Implements standard mini-batch SGD training (optionally over simulated
+data-parallel workers) with full cost instrumentation: every epoch records
+FLOPs, memory, BN traffic, communication bytes, and modeled device times, so
+a dense run directly provides the denominators of the paper's Tab. 1/Tab. 4
+ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..costmodel import (DEVICES, bn_traffic_bytes, epoch_comm_bytes,
+                         epoch_time, inference_flops, iteration_memory_bytes,
+                         training_flops_per_sample)
+from ..data import Augmenter, DataLoader, Dataset
+from ..distributed import data_parallel_step
+from ..nn.module import Module
+from ..optim import SGD, LRSchedule, StepLR, milestones_for
+from ..prune.sparsity import model_channel_sparsity
+from ..tensor import Tensor, no_grad
+from ..tensor import functional as F
+from .metrics import EpochRecord, RunLog
+
+
+@dataclass
+class TrainerConfig:
+    """Hyperparameters shared by all trainers.
+
+    Defaults follow the paper's CIFAR recipe (He et al.): SGD momentum 0.9,
+    weight decay 5e-4, LR 0.1 decayed 10x at 50%/75% of training.
+    """
+
+    epochs: int = 60
+    batch_size: int = 128
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    lr_milestone_fractions: tuple = (0.5, 0.75)
+    lr_gamma: float = 0.1
+    workers: int = 1               # simulated data-parallel workers
+    augment: bool = True
+    #: white-noise augmentation std (fresh corruption per presentation; for
+    #: synthetic tasks this emulates sampling a much larger dataset)
+    augment_noise_std: float = 0.0
+    eval_batch: int = 256
+    #: BN running-stat recalibration passes before each evaluation (0 = off).
+    #: Short schedules need this: EMA stats lag the weights and the error
+    #: compounds through deep networks (see repro.nn.bn_utils).
+    bn_recal_batches: int = 3
+    seed: int = 0
+    device_names: tuple = ("1080ti", "v100")
+    log_every: int = 0             # epochs between stdout lines (0 = silent)
+
+
+class Trainer:
+    """Baseline dense trainer with full cost instrumentation."""
+
+    method_name = "dense"
+
+    def __init__(self, model: Module, train_set: Dataset, val_set: Dataset,
+                 config: Optional[TrainerConfig] = None):
+        self.model = model
+        self.train_set = train_set
+        self.val_set = val_set
+        self.cfg = config or TrainerConfig()
+        self.optimizer = SGD(model.parameters(), self.cfg.lr,
+                             self.cfg.momentum, self.cfg.weight_decay)
+        self.schedule: LRSchedule = StepLR(
+            self.cfg.lr, milestones_for(self.cfg.epochs,
+                                        self.cfg.lr_milestone_fractions),
+            self.cfg.lr_gamma)
+        aug = Augmenter(noise_std=self.cfg.augment_noise_std) \
+            if self.cfg.augment else None
+        self.loader = DataLoader(train_set, self.cfg.batch_size, shuffle=True,
+                                 seed=self.cfg.seed, augment=aug)
+        #: multiplicative LR factor from dynamic mini-batch scaling
+        self.lr_scale = 1.0
+        self.log = RunLog(model_name=getattr(model, "name", "model"),
+                          dataset_name=train_set.name,
+                          method=self.method_name)
+        self.log.notes["train_size"] = len(train_set)
+        self._cum_flops = 0.0
+
+    # -- hooks (overridden by subclasses) -----------------------------------
+    def on_run_start(self) -> None:
+        pass
+
+    def on_first_batch(self, cls_loss: float) -> None:
+        pass
+
+    def post_backward(self) -> float:
+        """Add extra gradients (regularizers); return extra loss for logging."""
+        return 0.0
+
+    def on_epoch_end(self, epoch: int) -> None:
+        pass
+
+    # -- core loop ---------------------------------------------------------
+    def _step_single(self, xb: np.ndarray, yb: np.ndarray
+                     ) -> tuple[float, float, float]:
+        logits = self.model(Tensor(xb))
+        loss = F.cross_entropy(logits, yb)
+        self.optimizer.zero_grad()
+        loss.backward()
+        acc = float((logits.data.argmax(1) == yb).mean())
+        return loss.item(), acc, 0.0
+
+    def _step_parallel(self, xb: np.ndarray, yb: np.ndarray
+                       ) -> tuple[float, float, float]:
+        res, _ = data_parallel_step(self.model, xb, yb, self.cfg.workers)
+        return res.loss, res.accuracy, res.comm_bytes_per_worker
+
+    def train(self) -> RunLog:
+        """Run the full training loop; returns the populated :class:`RunLog`."""
+        self.on_run_start()
+        first_batch = True
+        for epoch in range(self.cfg.epochs):
+            t0 = time.perf_counter()
+            self.model.train()
+            base_lr = self.schedule.lr_at(epoch)
+            self.optimizer.lr = base_lr * self.lr_scale
+            losses, accs = [], []
+            comm_epoch = 0.0
+            flops_per_sample = training_flops_per_sample(self.model.graph)
+            for xb, yb in self.loader:
+                if self.cfg.workers > 1:
+                    loss, acc, comm = self._step_parallel(xb, yb)
+                else:
+                    loss, acc, comm = self._step_single(xb, yb)
+                if first_batch:
+                    self.on_first_batch(loss)
+                    first_batch = False
+                reg = self.post_backward()
+                self.optimizer.step()
+                losses.append(loss)
+                accs.append(acc)
+                comm_epoch += comm
+                self._cum_flops += flops_per_sample * len(yb)
+            self.on_epoch_end(epoch)
+            rec = self._make_record(epoch, float(np.mean(losses)),
+                                    float(np.mean(accs)), comm_epoch)
+            rec.wall_time = time.perf_counter() - t0
+            self.log.append(rec)
+            if self.cfg.log_every and (epoch % self.cfg.log_every == 0):
+                print(f"[{self.method_name}] ep{epoch:3d} "
+                      f"loss {rec.train_loss:.3f} val {rec.val_acc:.3f} "
+                      f"infF {rec.inference_flops/1e6:.2f}M "
+                      f"batch {rec.batch_size}")
+        return self.log
+
+    def evaluate(self) -> float:
+        """Top-1 accuracy on the validation set (after BN recalibration)."""
+        if self.cfg.bn_recal_batches > 0:
+            from ..nn.bn_utils import recalibrate_bn
+            bs = max(self.loader.batch_size, 64)
+            batches = [self.train_set.x[i * bs:(i + 1) * bs]
+                       for i in range(self.cfg.bn_recal_batches)]
+            recalibrate_bn(self.model, [b for b in batches if len(b)])
+        self.model.eval()
+        correct = 0
+        n = len(self.val_set)
+        with no_grad():
+            for lo in range(0, n, self.cfg.eval_batch):
+                xb = self.val_set.x[lo:lo + self.cfg.eval_batch]
+                yb = self.val_set.y[lo:lo + self.cfg.eval_batch]
+                logits = self.model(Tensor(xb))
+                correct += int((logits.data.argmax(1) == yb).sum())
+        self.model.train()
+        return correct / n
+
+    # -- instrumentation ------------------------------------------------------
+    def _make_record(self, epoch: int, train_loss: float, train_acc: float,
+                     comm_epoch: float) -> EpochRecord:
+        graph = self.model.graph
+        bs = self.loader.batch_size
+        rec = EpochRecord(
+            epoch=epoch, train_loss=train_loss, train_acc=train_acc,
+            val_acc=self.evaluate(),
+            lr=self.optimizer.lr, batch_size=bs,
+            params=self.model.num_parameters(),
+            inference_flops=inference_flops(graph),
+            train_flops_per_sample=training_flops_per_sample(graph),
+            cumulative_train_flops=self._cum_flops,
+            memory_bytes=iteration_memory_bytes(graph, bs),
+            bn_bytes_per_iter=bn_traffic_bytes(graph, bs),
+            comm_bytes_epoch=comm_epoch if comm_epoch else
+            epoch_comm_bytes(graph, len(self.train_set), bs,
+                             max(self.cfg.workers, 4)),
+            channel_sparsity=model_channel_sparsity(graph),
+            removed_layers=graph.removed_layers(),
+        )
+        for dev in self.cfg.device_names:
+            rec.epoch_time_model[dev] = epoch_time(
+                graph, len(self.train_set),
+                max(1, bs // max(self.cfg.workers, 1)),
+                DEVICES[dev], workers=max(self.cfg.workers, 1))
+        return rec

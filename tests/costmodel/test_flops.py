@@ -1,0 +1,87 @@
+"""FLOPs model: exactness against hand counts, mode consistency."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (TRAINING_FLOPS_FACTOR, conv_flops,
+                             inference_flops, per_layer_inference_flops,
+                             training_flops_per_sample)
+from repro.nn import resnet20, resnet32, resnet50_cifar, vgg11
+from repro.prune import prune_and_reconfigure
+
+SMALL = dict(width_mult=0.25, input_hw=16)
+
+
+class TestConvFlops:
+    def test_hand_count(self):
+        m = vgg11(10, width_mult=1.0, input_hw=32)
+        node = m.graph.conv_by_name("conv0")  # 3->64, 3x3, 32x32 out
+        assert conv_flops(node) == 2 * 64 * 3 * 9 * 32 * 32
+
+    def test_override_dims(self):
+        m = vgg11(10, width_mult=1.0, input_hw=32)
+        node = m.graph.conv_by_name("conv1")
+        full = conv_flops(node)
+        half = conv_flops(node, c_in=node.conv.in_channels // 2)
+        assert half == pytest.approx(full / 2)
+
+
+class TestInferenceFlops:
+    def test_resnet20_magnitude(self):
+        """Canonical ResNet-20 on 32x32 is ~41 MFLOPs (2*20.5M MACs)."""
+        m = resnet20(10, width_mult=1.0, input_hw=32)
+        f = inference_flops(m.graph, include_small_layers=False)
+        assert 70e6 < f < 95e6  # 2 FLOPs/MAC convention: ~82M
+
+    def test_scales_quadratically_with_width(self):
+        f1 = inference_flops(resnet20(10, width_mult=1.0).graph,
+                             include_small_layers=False)
+        f2 = inference_flops(resnet20(10, width_mult=0.5).graph,
+                             include_small_layers=False)
+        assert f2 == pytest.approx(f1 / 4, rel=0.15)
+
+    def test_small_layers_toggle(self):
+        g = resnet20(10, **SMALL).graph
+        assert inference_flops(g, include_small_layers=True) > \
+            inference_flops(g, include_small_layers=False)
+
+    def test_training_factor(self):
+        g = resnet32(10, **SMALL).graph
+        assert training_flops_per_sample(g) == pytest.approx(
+            TRAINING_FLOPS_FACTOR * inference_flops(g))
+
+    def test_unknown_mode_raises(self):
+        g = resnet20(10, **SMALL).graph
+        with pytest.raises(ValueError):
+            inference_flops(g, mode="bogus")
+
+    def test_dead_path_excluded_in_union_mode(self):
+        m = resnet50_cifar(10, **SMALL)
+        full = inference_flops(m.graph, mode="union")
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        reduced = inference_flops(m.graph, mode="union")
+        assert reduced < full
+
+    def test_per_layer_sums_to_conv_total(self):
+        m = resnet32(10, **SMALL)
+        per = per_layer_inference_flops(m.graph)
+        total = inference_flops(m.graph, include_small_layers=False)
+        fc = 2.0 * m.fc.in_features * m.fc.out_features
+        assert sum(per.values()) == pytest.approx(total - fc)
+
+    def test_flops_drop_after_surgery(self):
+        m = resnet50_cifar(10, **SMALL)
+        rng = np.random.default_rng(0)
+        before = inference_flops(m.graph)
+        for sid, sp in m.graph.spaces.items():
+            if sp.frozen:
+                continue
+            kill = rng.random(sp.size) < 0.5
+            kill[0] = False
+            for node in m.graph.writers(sid):
+                node.conv.weight.data[kill] = 0
+            for node in m.graph.readers(sid):
+                node.conv.weight.data[:, kill] = 0
+        prune_and_reconfigure(m)
+        after = inference_flops(m.graph)
+        assert after < 0.6 * before

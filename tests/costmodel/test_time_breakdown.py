@@ -1,0 +1,51 @@
+"""TimeBreakdown composition and device preset sanity."""
+
+import pytest
+
+from repro.costmodel import (DEVICES, GTX_1080TI, TITAN_XP, V100,
+                             TimeBreakdown, iteration_time)
+from repro.nn import resnet32, vgg11
+
+SMALL = dict(width_mult=0.25, input_hw=16)
+
+
+class TestTimeBreakdown:
+    def test_total_is_sum_of_parts(self):
+        bd = TimeBreakdown(conv_time=1.0, bn_time=0.5, comm_time=0.25,
+                           overhead=0.25)
+        assert bd.total == pytest.approx(2.0)
+
+    def test_components_populated(self):
+        bd = iteration_time(resnet32(10, **SMALL).graph, 32, V100)
+        assert bd.conv_time > 0
+        assert bd.bn_time > 0
+        assert bd.overhead > 0
+        assert bd.comm_time == 0.0
+
+    def test_inference_cheaper_than_training(self):
+        g = vgg11(10, **SMALL).graph
+        train = iteration_time(g, 32, V100, training=True).total
+        infer = iteration_time(g, 32, V100, training=False).total
+        assert infer < train / 2
+
+    def test_time_scales_with_batch(self):
+        g = resnet32(10, **SMALL).graph
+        t32 = iteration_time(g, 32, V100).conv_time
+        t64 = iteration_time(g, 64, V100).conv_time
+        assert 1.5 < t64 / t32 < 2.5
+
+
+class TestDevicePresets:
+    def test_registry_complete(self):
+        assert set(DEVICES) == {"1080ti", "titanxp", "v100"}
+
+    def test_v100_fastest(self):
+        g = resnet32(10, **SMALL).graph
+        times = {name: iteration_time(g, 64, dev).total
+                 for name, dev in DEVICES.items()}
+        assert times["v100"] < times["1080ti"]
+        assert times["v100"] < times["titanxp"]
+
+    def test_spec_ordering(self):
+        assert V100.peak_flops > TITAN_XP.peak_flops > 0
+        assert V100.mem_bandwidth > GTX_1080TI.mem_bandwidth

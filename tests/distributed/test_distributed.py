@@ -1,0 +1,191 @@
+"""Ring allreduce correctness, data-parallel steps, dynamic mini-batch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import MemoryModel, ring_allreduce_bytes
+from repro.data import make_synthetic
+from repro.distributed import (DynamicBatchAdjuster, allreduce_gradient_lists,
+                               data_parallel_step, ring_allreduce)
+from repro.nn import resnet20
+from repro.optim import SGD
+
+SMALL = dict(width_mult=0.25, input_hw=8)
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7])
+    @pytest.mark.parametrize("n", [1, 5, 64, 1000])
+    def test_all_workers_get_mean(self, p, n, rng):
+        bufs = [rng.normal(size=n) for _ in range(p)]
+        expect = np.mean(bufs, axis=0)
+        ring_allreduce(bufs)
+        for b in bufs:
+            np.testing.assert_allclose(b, expect, rtol=1e-10)
+
+    def test_sum_mode(self, rng):
+        bufs = [rng.normal(size=10) for _ in range(3)]
+        expect = np.sum(bufs, axis=0)
+        ring_allreduce(bufs, average=False)
+        np.testing.assert_allclose(bufs[0], expect, rtol=1e-10)
+
+    def test_single_worker_noop(self, rng):
+        b = rng.normal(size=10)
+        orig = b.copy()
+        trace = ring_allreduce([b])
+        np.testing.assert_array_equal(b, orig)
+        assert trace.bytes_per_worker == 0.0
+
+    def test_bytes_match_closed_form(self, rng):
+        p, n = 4, 1000
+        bufs = [rng.normal(size=n) for _ in range(p)]
+        trace = ring_allreduce(bufs)
+        expect = ring_allreduce_bytes(n * 8, p)
+        assert trace.bytes_per_worker == pytest.approx(expect, rel=0.01)
+
+    def test_steps_count(self, rng):
+        bufs = [rng.normal(size=16) for _ in range(4)]
+        assert ring_allreduce(bufs).steps == 6  # 2*(P-1)
+
+    def test_mismatched_shapes_raise(self, rng):
+        with pytest.raises(ValueError):
+            ring_allreduce([rng.normal(size=3), rng.normal(size=4)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    def test_multidim_buffers(self, rng):
+        bufs = [rng.normal(size=(3, 4, 5)) for _ in range(3)]
+        expect = np.mean(bufs, axis=0)
+        ring_allreduce(bufs)
+        np.testing.assert_allclose(bufs[2], expect, rtol=1e-10)
+
+
+class TestGradientListAllreduce:
+    def test_reduces_heterogeneous_shapes(self, rng):
+        shapes = [(3, 4), (7,), (2, 2, 2)]
+        grads = [[rng.normal(size=s) for s in shapes] for _ in range(3)]
+        expect = [np.mean([g[i] for g in grads], axis=0)
+                  for i in range(len(shapes))]
+        allreduce_gradient_lists(grads)
+        for w in range(3):
+            for i in range(len(shapes)):
+                np.testing.assert_allclose(grads[w][i], expect[i],
+                                           rtol=1e-10)
+
+    def test_single_worker_zero_bytes(self, rng):
+        grads = [[rng.normal(size=4)]]
+        assert allreduce_gradient_lists(grads) == 0.0
+
+
+class TestDataParallelStep:
+    def test_matches_sequential_shard_average(self):
+        """K-worker gradients must equal the mean of per-shard gradients."""
+        ds = make_synthetic(10, 32, hw=8, seed=0)
+        m = resnet20(10, **SMALL, seed=1)
+        params = m.parameters()
+
+        res, shards = data_parallel_step(m, ds.x, ds.y, workers=4)
+        par_grads = [p.grad.copy() for p in params]
+
+        # manual: average of per-shard backward passes
+        from repro.tensor import Tensor
+        from repro.tensor import functional as F
+        bounds = np.cumsum([0] + shards)
+        manual = [np.zeros_like(p.data) for p in params]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            m.zero_grad()
+            loss = F.cross_entropy(m(Tensor(ds.x[lo:hi])), ds.y[lo:hi])
+            loss.backward()
+            for acc, p in zip(manual, params):
+                acc += p.grad / 4
+        for got, want in zip(par_grads, manual):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-6)
+
+    def test_reports_comm_bytes(self):
+        ds = make_synthetic(10, 16, hw=8, seed=0)
+        m = resnet20(10, **SMALL)
+        res, _ = data_parallel_step(m, ds.x, ds.y, workers=4)
+        assert res.comm_bytes_per_worker > 0
+
+    def test_single_worker_no_comm(self):
+        ds = make_synthetic(10, 16, hw=8, seed=0)
+        m = resnet20(10, **SMALL)
+        res, _ = data_parallel_step(m, ds.x, ds.y, workers=1)
+        assert res.comm_bytes_per_worker == 0.0
+
+    def test_invalid_workers(self):
+        ds = make_synthetic(10, 8, hw=8, seed=0)
+        m = resnet20(10, **SMALL)
+        with pytest.raises(ValueError):
+            data_parallel_step(m, ds.x, ds.y, workers=0)
+
+    def test_optimizer_step_after_parallel(self):
+        ds = make_synthetic(10, 16, hw=8, seed=0)
+        m = resnet20(10, **SMALL)
+        opt = SGD(m.parameters(), 0.1)
+        before = m.stem.weight.data.copy()
+        data_parallel_step(m, ds.x, ds.y, workers=2)
+        opt.step()
+        assert not np.array_equal(before, m.stem.weight.data)
+
+
+class TestDynamicBatchAdjuster:
+    def _adjuster(self, cap=60e6, **kw):
+        return DynamicBatchAdjuster(MemoryModel(capacity_bytes=cap), **kw)
+
+    def test_grows_batch_when_memory_allows(self):
+        m = resnet20(10, **SMALL)
+        adj = self._adjuster(cap=1e9, granularity=32, max_batch=512)
+        a = adj.propose(m.graph, 64)
+        assert a.new_batch > 64
+        assert a.lr_scale == pytest.approx(a.new_batch / 64)
+
+    def test_never_shrinks_by_default(self):
+        m = resnet20(10, width_mult=1.0, input_hw=32)
+        adj = self._adjuster(cap=1e6)  # tiny memory
+        a = adj.propose(m.graph, 128)
+        assert a.new_batch == 128
+
+    def test_shrink_mode(self):
+        m = resnet20(10, width_mult=1.0, input_hw=32)
+        adj = self._adjuster(cap=5e6, shrink=True, granularity=8)
+        a = adj.propose(m.graph, 128)
+        assert a.new_batch <= 128
+
+    def test_respects_max_batch(self):
+        m = resnet20(10, **SMALL)
+        adj = self._adjuster(cap=1e12, max_batch=256)
+        assert adj.propose(m.graph, 64).new_batch == 256
+
+    def test_sqrt_rule(self):
+        m = resnet20(10, **SMALL)
+        adj = self._adjuster(cap=1e9, lr_rule="sqrt", max_batch=256)
+        a = adj.propose(m.graph, 64)
+        assert a.lr_scale == pytest.approx((a.new_batch / 64) ** 0.5)
+
+    def test_unknown_rule_raises(self):
+        m = resnet20(10, **SMALL)
+        adj = self._adjuster(lr_rule="bogus")
+        with pytest.raises(ValueError):
+            adj.propose(m.graph, 64)
+
+    def test_history_recorded(self):
+        m = resnet20(10, **SMALL)
+        adj = self._adjuster(cap=1e9)
+        adj.propose(m.graph, 64)
+        adj.propose(m.graph, 96)
+        assert len(adj.history) == 2
+
+
+@given(st.integers(2, 6), st.integers(1, 200))
+@settings(max_examples=20, deadline=None)
+def test_property_allreduce_preserves_mean(p, n):
+    rng = np.random.default_rng(p * 1000 + n)
+    bufs = [rng.normal(size=n) for _ in range(p)]
+    mean_before = np.mean(bufs, axis=0)
+    ring_allreduce(bufs)
+    np.testing.assert_allclose(bufs[0], mean_before, rtol=1e-9)

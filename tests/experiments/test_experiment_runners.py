@@ -1,0 +1,60 @@
+"""Cheap experiment runners (no training): Fig. 6/7 machinery and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE, fig6_fig7
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestFig6:
+    def test_structure(self):
+        result = fig6_fig7.run_fig6(SMOKE)
+        assert set(result["models"]) == {"resnet32", "resnet50"}
+        for rows in result["models"].values():
+            assert len(rows) == len(result["intensities"])
+            for r in rows:
+                assert 0 < r["gating"] <= r["union"] <= 1.0 + 1e-9
+
+    def test_higher_intensity_fewer_flops(self):
+        result = fig6_fig7.run_fig6(SMOKE)
+        for rows in result["models"].values():
+            unions = [r["union"] for r in rows]
+            assert unions[-1] < unions[0]
+
+    def test_report_renders(self):
+        result = fig6_fig7.run_fig6(SMOKE)
+        out = fig6_fig7.report_fig6(result)
+        assert "Fig. 6" in out and "resnet50" in out
+
+
+class TestFig7:
+    def test_measures_all_blocks(self):
+        result = fig6_fig7.run_fig7(SMOKE, batch=2, repeats=1)
+        assert len(result["blocks"]) == 16  # resnet50 bottlenecks
+        for r in result["blocks"]:
+            assert r["union_ms"] > 0 and r["gating_ms"] > 0
+        assert np.isfinite(result["mean_speedup"])
+
+    def test_report_renders(self):
+        result = fig6_fig7.run_fig7(SMOKE, batch=2, repeats=1)
+        out = fig6_fig7.report_fig7(result)
+        assert "Fig. 7" in out
+
+
+class TestCLI:
+    def test_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "tab1" in out
+
+    def test_registry_covers_every_paper_item(self):
+        for required in ["fig2", "fig4", "fig6", "fig7", "fig8", "fig9",
+                         "fig10", "fig11", "fig12", "tab1", "tab2", "tab3",
+                         "tab4"]:
+            assert required in EXPERIMENTS
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig6", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out

@@ -1,0 +1,26 @@
+"""Regression: need_model must retrain past a log-only cache hit."""
+
+from repro.experiments import SMOKE, Runs
+
+
+def test_need_model_after_log_only_hit(tmp_path):
+    runs = Runs(SMOKE, cache_dir=str(tmp_path))
+    # first call populates disk; a fresh runner loads log-only
+    runs.dense("resnet32", "cifar10s")
+    fresh = Runs(SMOKE, cache_dir=str(tmp_path))
+    k1, _ = fresh.dense("resnet32", "cifar10s")           # disk hit, no model
+    assert fresh.model_for(k1) is None
+    k2, _ = fresh.dense("resnet32", "cifar10s", need_model=True)
+    assert k1 == k2
+    assert fresh.model_for(k2) is not None
+
+
+def test_need_model_prunetrain_after_log_only_hit(tmp_path):
+    runs = Runs(SMOKE, cache_dir=str(tmp_path))
+    runs.prunetrain("resnet32", "cifar10s", ratio=0.3)
+    fresh = Runs(SMOKE, cache_dir=str(tmp_path))
+    k1, _ = fresh.prunetrain("resnet32", "cifar10s", ratio=0.3)
+    assert fresh.model_for(k1) is None
+    k2, _ = fresh.prunetrain("resnet32", "cifar10s", ratio=0.3,
+                             need_model=True)
+    assert fresh.model_for(k2) is not None

@@ -1,0 +1,117 @@
+"""Checkpointing of dynamically reconfigured models."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_checkpoint, save_checkpoint
+from repro.nn import resnet20, resnet50_cifar, vgg11
+from repro.optim import SGD
+from repro.prune import prune_and_reconfigure
+from repro.tensor import Tensor, no_grad
+
+from ..conftest import sparsify_space
+
+
+def _sparsify(model, frac=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    g = model.graph
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < frac
+        kill[0] = False
+        sparsify_space(g, sid, kill)
+
+
+class TestCheckpointRoundtrip:
+    def test_dense_model_roundtrip(self, tmp_path, rng):
+        path = str(tmp_path / "ckpt.npz")
+        m = resnet20(10, width_mult=0.25, input_hw=16, seed=3)
+        save_checkpoint(path, m)
+        m2, _, extra = load_checkpoint(
+            path, lambda: resnet20(10, width_mult=0.25, input_hw=16, seed=0))
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        m.eval(), m2.eval()
+        with no_grad():
+            np.testing.assert_allclose(m(x).data, m2(x).data, rtol=1e-5)
+
+    @pytest.mark.parametrize("factory", [resnet20, resnet50_cifar, vgg11])
+    def test_pruned_model_roundtrip(self, factory, tmp_path, rng):
+        path = str(tmp_path / "ckpt.npz")
+        m = factory(10, width_mult=0.25, input_hw=16, seed=5)
+        _sparsify(m)
+        prune_and_reconfigure(m)
+        save_checkpoint(path, m, extra={"epoch": 12})
+        m2, _, extra = load_checkpoint(
+            path, lambda: factory(10, width_mult=0.25, input_hw=16, seed=0))
+        assert extra == {"epoch": 12}
+        assert m2.num_parameters() == m.num_parameters()
+        m2.graph.validate()
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        m.eval(), m2.eval()
+        with no_grad():
+            np.testing.assert_allclose(m(x).data, m2(x).data, rtol=1e-5,
+                                       atol=1e-6)
+
+    def test_layer_removal_survives_roundtrip(self, tmp_path, rng):
+        path = str(tmp_path / "ckpt.npz")
+        m = resnet50_cifar(10, width_mult=0.25, input_hw=16, seed=1)
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        prune_and_reconfigure(m)
+        assert m.graph.removed_layers() == 3
+        save_checkpoint(path, m)
+        m2, _, _ = load_checkpoint(
+            path,
+            lambda: resnet50_cifar(10, width_mult=0.25, input_hw=16, seed=0))
+        assert m2.graph.removed_layers() == 3
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)).astype(np.float32))
+        m.eval(), m2.eval()
+        with no_grad():
+            np.testing.assert_allclose(m(x).data, m2(x).data, rtol=1e-5,
+                                       atol=1e-6)
+
+    def test_optimizer_state_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        m = resnet20(10, width_mult=0.25, input_hw=8, seed=2)
+        opt = SGD(m.parameters(), lr=0.03, momentum=0.8, weight_decay=1e-4)
+        for p in opt.params:
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        save_checkpoint(path, m, optimizer=opt)
+        m2, opt2, _ = load_checkpoint(
+            path, lambda: resnet20(10, width_mult=0.25, input_hw=8, seed=0),
+            with_optimizer=True)
+        assert opt2.lr == pytest.approx(0.03)
+        assert opt2.momentum == pytest.approx(0.8)
+        for (n1, p1), (n2, p2) in zip(m.named_parameters(),
+                                      m2.named_parameters()):
+            np.testing.assert_allclose(opt.state_for(p1),
+                                       opt2.state_for(p2), rtol=1e-6)
+
+    def test_missing_optimizer_raises(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        save_checkpoint(path, m)
+        with pytest.raises(ValueError, match="no optimizer state"):
+            load_checkpoint(path, lambda: resnet20(10, width_mult=0.25,
+                                                   input_hw=8),
+                            with_optimizer=True)
+
+    def test_training_resumes_after_load(self, tmp_path, tiny_train):
+        """A loaded pruned model must train further without errors."""
+        from repro.tensor import functional as F
+        path = str(tmp_path / "ckpt.npz")
+        m = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=4)
+        _sparsify(m)
+        opt = SGD(m.parameters(), 0.1, momentum=0.9)
+        prune_and_reconfigure(m, opt)
+        save_checkpoint(path, m, optimizer=opt)
+        m2, opt2, _ = load_checkpoint(
+            path, lambda: resnet50_cifar(10, width_mult=0.25, input_hw=8,
+                                         seed=0), with_optimizer=True)
+        x, y = tiny_train.x[:32], tiny_train.y[:32]
+        loss = F.cross_entropy(m2(Tensor(x)), y)
+        opt2.zero_grad()
+        loss.backward()
+        opt2.step()
+        m2.graph.validate()

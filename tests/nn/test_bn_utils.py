@@ -1,0 +1,77 @@
+"""BN running-stat recalibration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, resnet20
+from repro.nn.bn_utils import recalibrate_bn
+from repro.tensor import Tensor, no_grad
+
+
+class TestRecalibrateBn:
+    def test_stats_match_data_after_recal(self, rng):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        x = rng.normal(size=(64, 3, 8, 8)).astype(np.float32)
+        # corrupt running stats badly
+        for mod in m.modules():
+            if isinstance(mod, BatchNorm2d):
+                mod.running_mean[:] = 100.0
+                mod.running_var[:] = 1e-6
+        recalibrate_bn(m, [x[:32], x[32:]])
+        stem_bn = m.stem_bn
+        # stem BN stats should now reflect the stem conv's output over x
+        m.train()
+        with no_grad():
+            out = m.stem(Tensor(x)).data
+        np.testing.assert_allclose(stem_bn.running_mean,
+                                   out.mean(axis=(0, 2, 3)), rtol=1e-2,
+                                   atol=1e-2)
+
+    def test_restores_momentum_and_mode(self, rng):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        m.eval()
+        recalibrate_bn(m, [rng.normal(size=(8, 3, 8, 8)).astype(np.float32)])
+        assert not m.training
+        for mod in m.modules():
+            if isinstance(mod, BatchNorm2d):
+                assert mod.momentum == pytest.approx(0.1)
+
+    def test_no_parameter_changes(self, rng):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        before = {n: p.data.copy() for n, p in m.named_parameters()}
+        recalibrate_bn(m, [rng.normal(size=(8, 3, 8, 8)).astype(np.float32)])
+        for n, p in m.named_parameters():
+            np.testing.assert_array_equal(before[n], p.data)
+
+    def test_empty_batches_noop(self):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        rm = m.stem_bn.running_mean.copy()
+        assert recalibrate_bn(m, []) == 0
+        np.testing.assert_array_equal(m.stem_bn.running_mean, rm)
+
+    def test_cumulative_average_two_batches(self, rng):
+        """Stats after two batches equal the average of per-batch stats."""
+        conv = Conv2d(2, 3, 3, padding=1)
+
+        class Tiny:
+            training = True
+
+            def modules(self):
+                return [conv, bn]
+
+            def train(self, mode=True):
+                return self
+
+            def __call__(self, x):
+                return bn(conv(x))
+
+        bn = BatchNorm2d(3)
+        b1 = rng.normal(size=(16, 2, 6, 6)).astype(np.float32)
+        b2 = rng.normal(2.0, 1.0, size=(16, 2, 6, 6)).astype(np.float32)
+        model = Tiny()
+        recalibrate_bn(model, [b1, b2])
+        with no_grad():
+            m1 = conv(Tensor(b1)).data.mean(axis=(0, 2, 3))
+            m2 = conv(Tensor(b2)).data.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(bn.running_mean, (m1 + m2) / 2, rtol=1e-4,
+                                   atol=1e-5)

@@ -1,0 +1,118 @@
+"""ModelGraph API unit tests (independent of the model zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Linear
+from repro.nn.graph import ModelGraph
+
+
+class Block:
+    """Minimal path-block stub with the `active` contract."""
+
+    def __init__(self):
+        self.active = True
+
+
+def tiny_graph():
+    """input -> convA -> (mid) -> convB -> (junction) <- convC (2nd writer)"""
+    g = ModelGraph()
+    rgb = g.new_space(3, frozen=True, name="in")
+    mid = g.new_space(8, name="mid")
+    junction = g.new_space(6, name="junction")
+    a = Conv2d(3, 8, 3, padding=1)
+    b = Conv2d(8, 6, 3, padding=1)
+    c = Conv2d(3, 6, 1)
+    g.add_conv("a", a, BatchNorm2d(8), rgb, mid, 8)
+    g.add_conv("b", b, BatchNorm2d(6), mid, junction, 8)
+    g.add_conv("c", c, None, rgb, junction, 8)
+    lin = Linear(6, 4)
+    logits = g.new_space(4, frozen=True, name="out")
+    g.add_linear("fc", lin, junction, logits)
+    return g
+
+
+class TestConstruction:
+    def test_space_ids_sequential(self):
+        g = ModelGraph()
+        assert g.new_space(4) == 0
+        assert g.new_space(8) == 1
+
+    def test_add_conv_validates_dims(self):
+        g = ModelGraph()
+        s1, s2 = g.new_space(3), g.new_space(8)
+        bad = Conv2d(4, 8, 3)  # in_channels mismatch vs s1
+        with pytest.raises(ValueError, match="in_space"):
+            g.add_conv("bad", bad, None, s1, s2, 8)
+        bad2 = Conv2d(3, 9, 3)  # out mismatch vs s2
+        with pytest.raises(ValueError, match="out_space"):
+            g.add_conv("bad2", bad2, None, s1, s2, 8)
+
+    def test_conv_by_name(self):
+        g = tiny_graph()
+        assert g.conv_by_name("a").name == "a"
+        with pytest.raises(KeyError):
+            g.conv_by_name("nope")
+
+
+class TestQueries:
+    def test_writers_readers(self):
+        g = tiny_graph()
+        junction = 2
+        assert {c.name for c in g.writers(junction)} == {"b", "c"}
+        assert g.readers(junction) == []
+        assert {l.name for l in g.linear_readers(junction)} == {"fc"}
+        mid = 1
+        assert {c.name for c in g.writers(mid)} == {"a"}
+        assert {c.name for c in g.readers(mid)} == {"b"}
+
+    def test_path_activity_filters(self):
+        g = ModelGraph()
+        s1, s2 = g.new_space(3, frozen=True), g.new_space(4)
+        block = Block()
+        pid = g.new_path("p", block, ["pc"])
+        conv = Conv2d(3, 4, 3)
+        g.add_conv("pc", conv, None, s1, s2, 8, path=pid)
+        assert len(g.active_convs()) == 1
+        block.active = False
+        assert g.active_convs() == []
+        assert g.writers(s2) == []
+        assert g.removed_layers() == 1
+
+    def test_total_conv_layers_counts_all(self):
+        g = tiny_graph()
+        assert g.total_conv_layers() == 3
+
+
+class TestValidate:
+    def test_passes_when_consistent(self):
+        tiny_graph().validate()
+
+    def test_detects_in_drift(self):
+        g = tiny_graph()
+        g.conv_by_name("b").conv.in_channels = 5
+        with pytest.raises(AssertionError, match="in dim"):
+            g.validate()
+
+    def test_detects_bn_drift(self):
+        g = tiny_graph()
+        g.conv_by_name("a").bn.num_features = 3
+        with pytest.raises(AssertionError, match="bn dim"):
+            g.validate()
+
+    def test_detects_linear_drift(self):
+        g = tiny_graph()
+        g.linears[0].linear.in_features = 99
+        with pytest.raises(AssertionError, match="linear in dim"):
+            g.validate()
+
+    def test_skips_inactive_paths(self):
+        g = ModelGraph()
+        s1, s2 = g.new_space(3, frozen=True), g.new_space(4)
+        block = Block()
+        pid = g.new_path("p", block, ["pc"])
+        conv = Conv2d(3, 4, 3)
+        g.add_conv("pc", conv, None, s1, s2, 8, path=pid)
+        block.active = False
+        conv.in_channels = 99  # stale dims on a removed path: ignored
+        g.validate()

@@ -1,0 +1,171 @@
+"""Model zoo: forward shapes, graph consistency, architecture invariants."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (VGG_PLANS, resnet20, resnet32, resnet50_cifar,
+                      resnet50_imagenet, resnet56, vgg11, vgg13)
+from repro.tensor import Tensor, no_grad
+
+SMALL = dict(width_mult=0.25, input_hw=16)
+
+
+@pytest.mark.parametrize("factory", [resnet20, resnet32, resnet56,
+                                     resnet50_cifar, vgg11, vgg13])
+def test_forward_shape(factory, rng):
+    m = factory(num_classes=7, **SMALL)
+    m.eval()
+    with no_grad():
+        out = m(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+    assert out.shape == (2, 7)
+
+
+def test_imagenet_stem_downsamples(rng):
+    m = resnet50_imagenet(num_classes=11, width_mult=0.125, input_hw=32)
+    m.eval()
+    with no_grad():
+        out = m(Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32)))
+    assert out.shape == (1, 11)
+    # stem conv stride 2 + pool 2: first bottleneck conv sees hw/4
+    stem = m.graph.conv_by_name("stem")
+    assert stem.out_hw == 16  # conv stride 2 only; pool happens after
+
+
+class TestGraphConsistency:
+    @pytest.mark.parametrize("factory", [resnet20, resnet50_cifar, vgg11])
+    def test_validate_passes(self, factory):
+        factory(10, **SMALL).graph.validate()
+
+    def test_depth_counts(self):
+        # basic-block resnets: stem + 2 convs/block + projections
+        m32 = resnet32(10, **SMALL)
+        path_convs = sum(len(p.conv_names) for p in m32.graph.paths.values())
+        assert path_convs == 30  # 15 blocks x 2
+        assert m32.graph.total_conv_layers() == 1 + 30 + 2  # stem + paths + 2 proj
+
+        m56 = resnet56(10, **SMALL)
+        assert sum(len(p.conv_names)
+                   for p in m56.graph.paths.values()) == 54
+
+    def test_resnet50_block_structure(self):
+        m = resnet50_cifar(10, **SMALL)
+        assert len(m.graph.paths) == 3 + 4 + 6 + 3
+        path_convs = sum(len(p.conv_names) for p in m.graph.paths.values())
+        assert path_convs == 48  # 16 bottlenecks x 3
+
+    def test_junction_spaces_are_shared(self):
+        """All blocks of a stage read and write the same channel space."""
+        m = resnet20(10, **SMALL)
+        g = m.graph
+        # find stage-1 junction: space written by >1 conv
+        shared = [sid for sid in g.spaces
+                  if len(g.writers(sid)) > 1]
+        assert shared, "residual junctions must be shared spaces"
+        for sid in shared:
+            sizes = {c.conv.out_channels for c in g.writers(sid)}
+            assert len(sizes) == 1
+
+    def test_frozen_spaces(self):
+        m = vgg11(10, **SMALL)
+        frozen = [s for s in m.graph.spaces.values() if s.frozen]
+        assert len(frozen) == 2  # input RGB + logits
+
+    def test_vgg_chain_has_no_junctions(self):
+        from repro.prune import junctions
+        m = vgg13(10, **SMALL)
+        assert junctions(m.graph) == []
+
+    def test_resnet_has_junctions(self):
+        from repro.prune import junctions
+        m = resnet50_cifar(10, **SMALL)
+        assert len(junctions(m.graph)) >= 4
+
+    def test_out_hw_tracks_strides(self):
+        m = resnet32(10, width_mult=0.25, input_hw=32)
+        g = m.graph
+        assert g.conv_by_name("stem").out_hw == 32
+        assert g.conv_by_name("s0b0.conv1").out_hw == 32
+        assert g.conv_by_name("s1b0.conv1").out_hw == 16
+        assert g.conv_by_name("s2b0.conv1").out_hw == 8
+
+
+class TestWidthMult:
+    def test_scales_channels(self):
+        m1 = resnet20(10, width_mult=1.0)
+        m2 = resnet20(10, width_mult=0.5)
+        assert m2.num_parameters() < m1.num_parameters() / 3
+
+    def test_min_one_channel(self):
+        m = resnet20(10, width_mult=0.001)
+        for node in m.graph.active_convs():
+            assert node.conv.out_channels >= 1
+
+
+class TestVGGPlans:
+    def test_vgg11_has_8_convs(self):
+        assert sum(1 for x in VGG_PLANS["vgg11"] if x != "M") == 8
+
+    def test_vgg13_has_10_convs(self):
+        assert sum(1 for x in VGG_PLANS["vgg13"] if x != "M") == 10
+
+
+class TestWideResNet:
+    def test_forward_and_graph(self, rng):
+        from repro.nn import wide_resnet16
+        m = wide_resnet16(10, widen=2, width_mult=0.25, input_hw=16)
+        m.graph.validate()
+        m.eval()
+        with no_grad():
+            out = m(Tensor(rng.normal(size=(2, 3, 16, 16))
+                           .astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_widen_factor_scales_params(self):
+        from repro.nn import wide_resnet16
+        m1 = wide_resnet16(10, widen=1, width_mult=0.5)
+        m2 = wide_resnet16(10, widen=2, width_mult=0.5)
+        assert m2.num_parameters() > 3 * m1.num_parameters()
+
+    def test_prunable_like_any_resnet(self):
+        from repro.nn import wide_resnet16
+        from repro.prune import prune_and_reconfigure
+        m = wide_resnet16(10, widen=2, width_mult=0.25, input_hw=8)
+        g = m.graph
+        rngl = np.random.default_rng(0)
+        for sid, sp in g.spaces.items():
+            if sp.frozen:
+                continue
+            kill = rngl.random(sp.size) < 0.4
+            kill[0] = False
+            for node in g.writers(sid):
+                node.conv.weight.data[kill] = 0
+            for node in g.readers(sid):
+                node.conv.weight.data[:, kill] = 0
+        rep = prune_and_reconfigure(m)
+        assert rep.channels_pruned > 0
+        g.validate()
+
+
+def test_deterministic_construction():
+    a = resnet20(10, width_mult=0.25, seed=7)
+    b = resnet20(10, width_mult=0.25, seed=7)
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+def test_training_reduces_loss(tiny_train):
+    """One epoch of SGD on a small model reduces training loss."""
+    from repro.optim import SGD
+    from repro.tensor import functional as F
+    m = resnet20(10, width_mult=0.25, input_hw=8, seed=0)
+    opt = SGD(m.parameters(), lr=0.05)
+    x, y = tiny_train.x[:128], tiny_train.y[:128]
+    losses = []
+    for _ in range(12):
+        logits = m(Tensor(x))
+        loss = F.cross_entropy(logits, y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    assert losses[-1] < losses[0] * 0.8

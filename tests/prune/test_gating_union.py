@@ -1,0 +1,126 @@
+"""Channel gating vs channel union: plans, execution equivalence, FLOPs."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import conv_dims_gating, conv_dims_union, inference_flops
+from repro.nn import resnet20, resnet50_cifar
+from repro.prune import (GatedPathRunner, UnionPathRunner, all_path_plans,
+                         path_plan, prune_and_reconfigure,
+                         zero_sparsified_groups)
+from repro.tensor import Tensor, no_grad
+
+SMALL = dict(width_mult=0.25, input_hw=16)
+
+
+def sparsify_path_interior(model, path_name, frac=0.5, seed=0):
+    """Sparsify interior channels of one residual path only (both sides)."""
+    rng = np.random.default_rng(seed)
+    g = model.graph
+    path = next(p for p in g.paths.values() if p.name == path_name)
+    nodes = [g.conv_by_name(n) for n in path.conv_names]
+    for a, b in zip(nodes[:-1], nodes[1:]):
+        size = a.conv.out_channels
+        kill = rng.random(size) < frac
+        kill[0] = False
+        a.conv.weight.data[kill] = 0.0
+        b.conv.weight.data[:, kill] = 0.0
+        if a.bn is not None:
+            a.bn.weight.data[kill] = 0.0
+            a.bn.bias.data[kill] = 0.0
+    return path
+
+
+class TestPathPlan:
+    def test_dense_path_plan_is_identity(self):
+        m = resnet50_cifar(10, **SMALL)
+        path = next(iter(m.graph.paths.values()))
+        plan = path_plan(m.graph, path)
+        for cp, name in zip(plan.convs, path.conv_names):
+            node = m.graph.conv_by_name(name)
+            assert cp.in_idx.size == node.conv.in_channels
+            assert cp.out_idx.size == node.conv.out_channels
+
+    def test_interior_intersection(self):
+        m = resnet50_cifar(10, **SMALL)
+        path = sparsify_path_interior(m, "s0b1", frac=0.5)
+        plan = path_plan(m.graph, path)
+        n0 = m.graph.conv_by_name(path.conv_names[0])
+        assert plan.convs[0].out_idx.size < n0.conv.out_channels
+        # conv2 input must equal conv1 output under gating
+        np.testing.assert_array_equal(plan.convs[0].out_idx,
+                                      plan.convs[1].in_idx)
+
+    def test_all_path_plans_skips_inactive(self):
+        m = resnet50_cifar(10, **SMALL)
+        path = next(iter(m.graph.paths.values()))
+        path.block.active = False
+        plans = all_path_plans(m.graph)
+        assert path.pid not in plans
+
+
+class TestRunners:
+    def test_gating_equals_union_when_sparse_lanes_zero(self, rng):
+        """With sparse lanes hard-zeroed (incl. BN params), gating's output
+        must match union's — gating only skips channels that contribute 0."""
+        m = resnet50_cifar(10, **SMALL)
+        m.eval()
+        path = sparsify_path_interior(m, "s0b1", frac=0.5)
+        zero_sparsified_groups(m.graph)
+        g = m.graph
+        gated = GatedPathRunner(g, path)
+        union = UnionPathRunner(g, path)
+        cin = g.spaces[g.conv_by_name(path.conv_names[0]).in_space].size
+        x = Tensor(rng.normal(size=(2, cin, 8, 8)).astype(np.float32))
+        with no_grad():
+            yg = gated.forward(x).data
+            yu = union.forward(x).data
+        np.testing.assert_allclose(yg, yu, rtol=1e-4, atol=1e-5)
+
+    def test_union_runner_matches_block_path_math(self, rng):
+        m = resnet50_cifar(10, **SMALL)
+        m.eval()
+        path = next(iter(m.graph.paths.values()))
+        union = UnionPathRunner(m.graph, path)
+        cin = m.graph.spaces[
+            m.graph.conv_by_name(path.conv_names[0]).in_space].size
+        x = Tensor(rng.normal(size=(1, cin, 8, 8)).astype(np.float32))
+        with no_grad():
+            y = union.forward(x)
+        assert np.isfinite(y.data).all()
+
+
+class TestFlopsComparison:
+    def test_gating_flops_leq_union(self):
+        """Fig. 6: gating removes the union's redundant lanes, so its FLOPs
+        are <= union's, with a small gap (a few percent)."""
+        m = resnet50_cifar(10, **SMALL)
+        for name in ("s0b1", "s1b2", "s2b0"):
+            sparsify_path_interior(m, name, frac=0.4, seed=hash(name) % 100)
+        fu = inference_flops(m.graph, mode="union")
+        fg = inference_flops(m.graph, mode="gating")
+        fd = inference_flops(m.graph, mode="current")
+        assert fg <= fu <= fd
+        assert fg > 0.5 * fu  # the gap is small, not catastrophic
+
+    def test_dims_union_vs_gating(self):
+        m = resnet50_cifar(10, **SMALL)
+        path = sparsify_path_interior(m, "s0b1", frac=0.5)
+        du = conv_dims_union(m.graph)
+        dg = conv_dims_gating(m.graph)
+        name = path.conv_names[0]
+        node = m.graph.conv_by_name(name)
+        # interior channels: union keeps them (writer sparse, reader sparse
+        # -> actually both agree here so union prunes them too); check
+        # consistency instead: gating dims <= union dims
+        assert dg[name][1] <= du[name][1]
+
+    def test_union_surgery_matches_union_dims_prediction(self):
+        """inference_flops(mode='union') must predict post-surgery FLOPs."""
+        m = resnet50_cifar(10, **SMALL)
+        for name in ("s0b1", "s3b1"):
+            sparsify_path_interior(m, name, frac=0.5, seed=1)
+        predicted = inference_flops(m.graph, mode="union")
+        prune_and_reconfigure(m)
+        actual = inference_flops(m.graph, mode="current")
+        assert actual == pytest.approx(predicted, rel=1e-6)

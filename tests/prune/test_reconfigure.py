@@ -1,0 +1,213 @@
+"""Reconfiguration surgery: dimension consistency, state carry-over,
+function preservation, layer removal."""
+
+import numpy as np
+import pytest
+
+from repro.nn import resnet20, resnet50_cifar, vgg11
+from repro.optim import SGD
+from repro.prune import (prune_and_reconfigure, remove_dead_paths,
+                         space_keep_masks, zero_sparsified_groups)
+from repro.tensor import Tensor, no_grad
+
+from ..conftest import sparsify_space
+
+SMALL = dict(width_mult=0.25, input_hw=16)
+
+
+def random_sparsify(model, frac=0.4, seed=0):
+    """Consistently sparsify ``frac`` of each non-frozen space's channels."""
+    rng = np.random.default_rng(seed)
+    g = model.graph
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < frac
+        kill[0] = False
+        sparsify_space(g, sid, kill)
+
+
+class TestSurgery:
+    @pytest.mark.parametrize("factory", [resnet20, resnet50_cifar, vgg11])
+    def test_graph_valid_after_surgery(self, factory):
+        m = factory(10, **SMALL)
+        random_sparsify(m)
+        prune_and_reconfigure(m)
+        m.graph.validate()
+
+    @pytest.mark.parametrize("factory", [resnet20, resnet50_cifar, vgg11])
+    def test_forward_works_after_surgery(self, factory, rng):
+        m = factory(10, **SMALL)
+        random_sparsify(m)
+        prune_and_reconfigure(m)
+        m.eval()
+        with no_grad():
+            out = m(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 10)
+        assert np.isfinite(out.data).all()
+
+    def test_backward_works_after_surgery(self, rng):
+        from repro.tensor import functional as F
+        m = resnet20(10, **SMALL)
+        random_sparsify(m)
+        opt = SGD(m.parameters(), 0.1)
+        prune_and_reconfigure(m, opt)
+        logits = m(Tensor(rng.normal(size=(4, 3, 16, 16)).astype(np.float32)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        loss.backward()
+        opt.step()  # shapes must all be consistent
+
+    def test_params_strictly_reduced(self):
+        m = resnet50_cifar(10, **SMALL)
+        before = m.num_parameters()
+        random_sparsify(m)
+        rep = prune_and_reconfigure(m)
+        assert rep.params_after < before
+        assert rep.params_before == before
+        assert rep.channels_pruned > 0
+
+    def test_function_preserved_when_pruned_channels_exactly_zero(self, rng):
+        """Removing exactly-zero channels must not change the network
+        function (up to BN beta effects, which are also zeroed here)."""
+        m = vgg11(10, **SMALL)
+        g = m.graph
+        # zero channels AND their BN gamma/beta so removal is exact
+        kill_per_space = {}
+        rngl = np.random.default_rng(3)
+        for sid, sp in g.spaces.items():
+            if sp.frozen:
+                continue
+            kill = rngl.random(sp.size) < 0.3
+            kill[0] = False
+            kill_per_space[sid] = kill
+            sparsify_space(g, sid, kill, factor=0.0)
+        for node in g.active_convs():
+            kill = kill_per_space.get(node.out_space)
+            if kill is not None and node.bn is not None:
+                node.bn.weight.data[kill] = 0.0
+                node.bn.bias.data[kill] = 0.0
+        x = rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+        m.eval()
+        with no_grad():
+            before = m(Tensor(x)).data.copy()
+        prune_and_reconfigure(m)
+        m.eval()
+        with no_grad():
+            after = m(Tensor(x)).data
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-5)
+
+    def test_momentum_sliced_with_weights(self):
+        m = vgg11(10, **SMALL)
+        opt = SGD(m.parameters(), 0.1, momentum=0.9)
+        # fabricate momentum equal to weights so slicing is checkable
+        for p in opt.params:
+            opt.set_state_for(p, p.data.copy())
+        random_sparsify(m)
+        prune_and_reconfigure(m, opt)
+        for node in m.graph.active_convs():
+            w = node.conv.weight
+            buf = opt.state_for(w)
+            assert buf.shape == w.data.shape
+            np.testing.assert_allclose(buf, w.data)
+
+    def test_bn_running_stats_sliced(self):
+        m = vgg11(10, **SMALL)
+        g = m.graph
+        node = g.conv_by_name("conv2")
+        node.bn.running_mean[:] = np.arange(node.bn.num_features)
+        kill = np.zeros(g.spaces[node.out_space].size, dtype=bool)
+        kill[2] = True
+        sparsify_space(g, node.out_space, kill)
+        prune_and_reconfigure(m)
+        assert node.bn.num_features == node.conv.out_channels
+        assert 2.0 not in node.bn.running_mean
+
+    def test_optimizer_param_list_refreshed(self):
+        m = resnet50_cifar(10, **SMALL)
+        opt = SGD(m.parameters(), 0.1)
+        # kill a whole path -> its params leave the model
+        node = m.graph.conv_by_name("s1b1.conv2")
+        node.conv.weight.data[:] = 0.0
+        prune_and_reconfigure(m, opt)
+        assert len(opt.params) == len(m.parameters())
+
+    def test_idempotent_when_nothing_sparse(self):
+        m = resnet20(10, **SMALL)
+        before = m.num_parameters()
+        rep = prune_and_reconfigure(m)
+        assert rep.params_after == before
+        assert rep.channels_pruned == 0
+
+    def test_frozen_spaces_untouched(self):
+        m = vgg11(10, **SMALL)
+        m.graph.conv_by_name("conv0").conv.weight.data[:, 1] = 0.0
+        prune_and_reconfigure(m)
+        assert m.graph.conv_by_name("conv0").conv.in_channels == 3
+        assert m.fc.out_features == 10
+
+
+class TestLayerRemoval:
+    def test_dead_path_removed(self):
+        m = resnet50_cifar(10, **SMALL)
+        node = m.graph.conv_by_name("s2b1.conv1")
+        node.conv.weight.data[:] = 0.0
+        removed = remove_dead_paths(m.graph)
+        assert "s2b1" in removed
+        assert m.graph.removed_layers() == 3
+
+    def test_forward_after_path_removal(self, rng):
+        m = resnet50_cifar(10, **SMALL)
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        prune_and_reconfigure(m)
+        m.eval()
+        with no_grad():
+            out = m(Tensor(rng.normal(size=(1, 3, 16, 16)).astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+    def test_removed_params_leave_model(self):
+        m = resnet50_cifar(10, **SMALL)
+        before = m.num_parameters()
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        prune_and_reconfigure(m)
+        assert m.num_parameters() < before
+
+    def test_remove_layers_flag_off(self):
+        m = resnet50_cifar(10, **SMALL)
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        rep = prune_and_reconfigure(m, remove_layers=False)
+        assert rep.removed_layers == 0
+
+    def test_projection_convs_never_removed(self):
+        m = resnet50_cifar(10, **SMALL)
+        proj = m.graph.conv_by_name("s1b0.proj")
+        proj.conv.weight.data[:] = 1e-9  # fully sparse projection
+        prune_and_reconfigure(m)
+        # proj is trunk (path=None): still active (possibly 1-channel guard)
+        assert m.graph._active(proj)
+
+    def test_double_removal_is_safe(self):
+        m = resnet50_cifar(10, **SMALL)
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        remove_dead_paths(m.graph)
+        removed_again = remove_dead_paths(m.graph)
+        assert removed_again == []
+
+
+class TestZeroSparsifiedGroups:
+    def test_zeroes_below_threshold(self):
+        m = vgg11(10, **SMALL)
+        node = m.graph.conv_by_name("conv3")
+        node.conv.weight.data[1] = 5e-5
+        n = zero_sparsified_groups(m.graph, threshold=1e-4)
+        assert n >= 1
+        np.testing.assert_array_equal(node.conv.weight.data[1], 0.0)
+
+    def test_momentum_zeroed_too(self):
+        m = vgg11(10, **SMALL)
+        opt = SGD(m.parameters(), 0.1, momentum=0.9)
+        node = m.graph.conv_by_name("conv3")
+        node.conv.weight.data[1] = 5e-5
+        opt.set_state_for(node.conv.weight,
+                          np.ones_like(node.conv.weight.data))
+        zero_sparsified_groups(m.graph, threshold=1e-4, optimizer=opt)
+        np.testing.assert_array_equal(opt.state_for(node.conv.weight)[1], 0.0)

@@ -1,0 +1,167 @@
+"""Sparsity analysis: channel masks, union rule, density report."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import resnet20, resnet50_cifar, vgg11
+from repro.prune import (conv_sparsity, density_report,
+                         model_channel_sparsity, space_keep_masks)
+
+from ..conftest import sparsify_space
+
+SMALL = dict(width_mult=0.25, input_hw=16)
+
+
+class TestConvSparsity:
+    def test_fresh_model_dense(self):
+        m = vgg11(10, **SMALL)
+        for node in m.graph.active_convs():
+            sp = conv_sparsity(node)
+            assert not sp.in_sparse.any()
+            assert not sp.out_sparse.any()
+
+    def test_detects_zeroed_out_channel(self):
+        m = vgg11(10, **SMALL)
+        node = m.graph.conv_by_name("conv2")
+        node.conv.weight.data[3] = 0.0
+        sp = conv_sparsity(node)
+        assert sp.out_sparse[3]
+        assert sp.out_sparse.sum() == 1
+
+    def test_detects_zeroed_in_channel(self):
+        m = vgg11(10, **SMALL)
+        node = m.graph.conv_by_name("conv2")
+        node.conv.weight.data[:, 5] = 0.0
+        sp = conv_sparsity(node)
+        assert sp.in_sparse[5]
+
+    def test_threshold_respected(self):
+        m = vgg11(10, **SMALL)
+        node = m.graph.conv_by_name("conv1")
+        node.conv.weight.data[0] = 5e-3
+        assert not conv_sparsity(node, threshold=1e-4).out_sparse[0]
+        assert conv_sparsity(node, threshold=1e-2).out_sparse[0]
+
+
+class TestSpaceKeepMasks:
+    def test_frozen_spaces_fully_kept(self):
+        m = vgg11(10, **SMALL)
+        masks = space_keep_masks(m.graph)
+        for sid, space in m.graph.spaces.items():
+            if space.frozen:
+                assert masks[sid].all()
+
+    def test_intersection_rule_plain_chain(self):
+        """VGG: a channel prunes only when writer out AND reader in agree."""
+        m = vgg11(10, **SMALL)
+        g = m.graph
+        n1 = g.conv_by_name("conv1")
+        sid = n1.out_space
+        # only writer side sparse -> kept
+        n1.conv.weight.data[2] = 0.0
+        assert space_keep_masks(g)[sid][2]
+        # both sides sparse -> pruned
+        reader = g.readers(sid)[0]
+        reader.conv.weight.data[:, 2] = 0.0
+        assert not space_keep_masks(g)[sid][2]
+
+    def test_union_rule_junction(self):
+        """ResNet junction: every member must agree before pruning."""
+        m = resnet20(10, **SMALL)
+        g = m.graph
+        junction = next(sid for sid in g.spaces if len(g.writers(sid)) > 2)
+        members_w = g.writers(junction)
+        members_r = g.readers(junction)
+        ch = 1
+        # all but one member sparse -> still kept (union keeps it)
+        for node in members_w[:-1]:
+            node.conv.weight.data[ch] = 0.0
+        for node in members_r:
+            node.conv.weight.data[:, ch] = 0.0
+        assert space_keep_masks(g)[junction][ch]
+        # last member agrees -> pruned
+        members_w[-1].conv.weight.data[ch] = 0.0
+        assert not space_keep_masks(g)[junction][ch]
+
+    def test_connectivity_guard_keeps_one_channel(self):
+        m = vgg11(10, **SMALL)
+        g = m.graph
+        node = g.conv_by_name("conv3")
+        sid = node.out_space
+        sparsify_space(g, sid, np.ones(g.spaces[sid].size, dtype=bool))
+        keep = space_keep_masks(g)[sid]
+        assert keep.sum() == 1
+
+    def test_linear_reader_does_not_veto(self):
+        """FC columns follow the channel space; they cannot keep it alive."""
+        m = vgg11(10, **SMALL)
+        g = m.graph
+        last_conv = g.convs[-1]
+        sid = last_conv.out_space
+        assert g.linear_readers(sid)
+        kill = np.zeros(g.spaces[sid].size, dtype=bool)
+        kill[4] = True
+        sparsify_space(g, sid, kill)
+        assert not space_keep_masks(g)[sid][4]
+
+
+class TestDensityReport:
+    def test_fresh_model_fully_dense(self):
+        m = resnet20(10, **SMALL)
+        rep = density_report(m.graph)
+        assert all(d == pytest.approx(1.0) for d in rep.channel_density)
+        assert all(d > 0.95 for d in rep.weight_density)
+
+    def test_sparse_channels_lower_density(self):
+        m = vgg11(10, **SMALL)
+        node = m.graph.conv_by_name("conv4")
+        k = node.conv.out_channels
+        node.conv.weight.data[: k // 2] = 0.0
+        rep = density_report(m.graph)
+        i = rep.layer_names.index("conv4")
+        assert rep.channel_density[i] == pytest.approx(
+            1.0 * (1 - (k // 2) / k), rel=1e-6)
+        assert rep.weight_density[i] < 0.6
+
+    def test_includes_fc(self):
+        m = vgg11(10, **SMALL)
+        rep = density_report(m.graph)
+        assert "fc" in rep.layer_names
+
+    def test_model_channel_sparsity_range(self):
+        m = resnet20(10, **SMALL)
+        assert model_channel_sparsity(m.graph) == 0.0
+        for node in m.graph.active_convs():
+            node.conv.weight.data[:] = 0.0
+        assert model_channel_sparsity(m.graph) == 1.0
+
+
+@given(st.integers(0, 2 ** 12 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_union_mask_is_and_of_members(pattern):
+    """For any sparsity pattern applied to a junction's members, the keep
+    mask equals NOT(AND of all members' sparsity) with the >=1 guard."""
+    m = resnet20(10, width_mult=0.125, input_hw=8)
+    g = m.graph
+    junction = next(sid for sid in g.spaces if len(g.writers(sid)) > 2)
+    size = g.spaces[junction].size
+    members = g.writers(junction) + g.readers(junction)
+    bits = np.array([(pattern >> i) & 1 for i in range(size)], dtype=bool)
+    expected_prunable = np.ones(size, dtype=bool)
+    rngl = np.random.default_rng(pattern)
+    for node in members:
+        # each member sparsifies `bits` channels plus maybe extra
+        extra = rngl.random(size) < 0.2
+        member_sparse = bits | extra
+        if node.out_space == junction:
+            node.conv.weight.data[member_sparse] = 0.0
+        else:
+            node.conv.weight.data[:, member_sparse] = 0.0
+        expected_prunable &= member_sparse
+    keep = space_keep_masks(g)[junction]
+    expect_keep = ~expected_prunable
+    if not expect_keep.any():
+        expect_keep[0] = True
+    np.testing.assert_array_equal(keep, expect_keep)

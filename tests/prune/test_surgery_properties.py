@@ -1,0 +1,104 @@
+"""Property-based tests of the reconfiguration surgery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import inference_flops
+from repro.nn import resnet20, vgg11
+from repro.optim import SGD
+from repro.prune import prune_and_reconfigure, space_keep_masks
+from repro.tensor import Tensor, no_grad
+
+
+def _apply_kills(graph, kills):
+    for sid, kill in kills.items():
+        for node in graph.writers(sid):
+            node.conv.weight.data[kill] = 0.0
+        for node in graph.readers(sid):
+            node.conv.weight.data[:, kill] = 0.0
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=12, deadline=None)
+def test_surgery_invariants_random_patterns(seed):
+    """For random consistent sparsity patterns: graph stays valid, params
+    never grow, forward stays finite, FLOPs prediction matches surgery."""
+    rng = np.random.default_rng(seed)
+    model = vgg11(10, width_mult=0.25, input_hw=8, seed=0)
+    g = model.graph
+    kills = {}
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < rng.uniform(0.0, 0.7)
+        kill[0] = False
+        kills[sid] = kill
+    _apply_kills(g, kills)
+    predicted = inference_flops(g, mode="union")
+    params_before = model.num_parameters()
+    prune_and_reconfigure(model)
+    g.validate()
+    assert model.num_parameters() <= params_before
+    assert inference_flops(g) == pytest.approx(predicted, rel=1e-6)
+    model.eval()
+    with no_grad():
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))
+                           .astype(np.float32)))
+    assert np.isfinite(out.data).all()
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_momentum_alignment_random_patterns(seed):
+    """Momentum buffers always mirror their parameter shapes after surgery."""
+    rng = np.random.default_rng(seed)
+    model = resnet20(10, width_mult=0.25, input_hw=8, seed=1)
+    opt = SGD(model.parameters(), 0.1, momentum=0.9)
+    for p in opt.params:
+        opt.set_state_for(p, rng.normal(size=p.data.shape)
+                          .astype(np.float32))
+    g = model.graph
+    kills = {}
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < 0.5
+        kill[0] = False
+        kills[sid] = kill
+    _apply_kills(g, kills)
+    prune_and_reconfigure(model, opt)
+    for p in model.parameters():
+        buf = opt.state_for(p)
+        if buf is not None:
+            assert buf.shape == p.data.shape
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_masks_monotone_in_sparsity(seed):
+    """Adding more sparsity never keeps *more* channels."""
+    rng = np.random.default_rng(seed)
+    model = vgg11(10, width_mult=0.25, input_hw=8, seed=2)
+    g = model.graph
+    kills1 = {}
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < 0.3
+        kill[0] = False
+        kills1[sid] = kill
+    _apply_kills(g, kills1)
+    keep1 = {sid: m.sum() for sid, m in space_keep_masks(g).items()}
+    # extend the sparsity pattern
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        extra = rng.random(sp.size) < 0.3
+        extra[0] = False
+        kills1[sid] |= extra
+    _apply_kills(g, kills1)
+    keep2 = {sid: m.sum() for sid, m in space_keep_masks(g).items()}
+    for sid in keep1:
+        assert keep2[sid] <= keep1[sid]

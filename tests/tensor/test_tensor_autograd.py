@@ -1,0 +1,214 @@
+"""Autograd core: graph construction, backward, broadcasting, no_grad."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, grad_enabled, no_grad
+
+
+def _finite_arrays(shape):
+    return arrays(np.float64, shape,
+                  elements=st.floats(-10, 10, allow_nan=False, width=32))
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3, 4])
+        np.testing.assert_allclose(b.grad, [1, 2])
+
+    def test_sub_neg_div(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        out = (a - b) / b + (-a)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1 / 2 - 1])
+        np.testing.assert_allclose(b.grad, [-1 / 2 - (4 - 2) / 4])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_matmul_backward(self):
+        a = Tensor(np.eye(2), requires_grad=True)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(a.grad, [[3, 7], [3, 7]])
+
+    def test_radd_rmul_scalars(self):
+        a = Tensor([2.0], requires_grad=True)
+        (3.0 + 2.0 * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = 6.0 / a + (1.0 - a)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [-6.0 / 4 - 1.0])
+
+
+class TestBroadcasting:
+    def test_broadcast_add_grad_shape(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, [3, 3, 3, 3])
+
+    def test_broadcast_keepdim_axis(self):
+        a = Tensor(np.ones((2, 1, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 5, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 1, 3)
+        np.testing.assert_allclose(a.grad, np.full((2, 1, 3), 5.0))
+
+    def test_scalar_broadcast(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = Tensor(np.ones((3, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, 9.0)
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a.sum(axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        a.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 4), 0.25))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        b = a.transpose(1, 0)
+        assert b.shape == (3, 2)
+        (b * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(
+            a.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem(self):
+        a = Tensor(np.arange(10.0), requires_grad=True)
+        a[2:5].sum().backward()
+        expect = np.zeros(10)
+        expect[2:5] = 1
+        np.testing.assert_allclose(a.grad, expect)
+
+
+class TestGraphMechanics:
+    def test_diamond_graph_accumulates(self):
+        # y = a*a + a  -> dy/da = 2a + 1
+        a = Tensor([3.0], requires_grad=True)
+        ((a * a) + a).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_reused_node(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        (b + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2.0
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_no_grad_restores(self):
+        assert grad_enabled()
+        with no_grad():
+            assert not grad_enabled()
+        assert grad_enabled()
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_twice_accumulates_leaf(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_no_grad_tensor_creation(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestDtype:
+    def test_int_input_coerced_to_float32(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_repr_and_props(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert t.ndim == 2 and t.size == 6 and len(t) == 2
+
+
+@given(_finite_arrays((3, 4)), _finite_arrays((3, 4)))
+@settings(max_examples=25, deadline=None)
+def test_property_add_grad_is_ones(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, np.ones_like(a))
+    np.testing.assert_allclose(tb.grad, np.ones_like(b))
+
+
+@given(_finite_arrays((2, 5)))
+@settings(max_examples=25, deadline=None)
+def test_property_mul_grad_matches_operand(a):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(a.copy() + 1.0, requires_grad=True)
+    (ta * tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, tb.data, rtol=1e-5)
+    np.testing.assert_allclose(tb.grad, ta.data, rtol=1e-5)

@@ -1,0 +1,77 @@
+"""Public API surface: everything the README documents must import and have
+docstrings — a guard against silent API drift."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.tensor", "repro.tensor.functional",
+    "repro.nn", "repro.nn.graph", "repro.nn.bn_utils",
+    "repro.data", "repro.optim",
+    "repro.prune",
+    "repro.costmodel",
+    "repro.distributed",
+    "repro.train",
+    "repro.io", "repro.analysis",
+    "repro.experiments",
+]
+
+PUBLIC_NAMES = {
+    "repro.tensor": ["Tensor", "no_grad"],
+    "repro.nn": ["Module", "Parameter", "Conv2d", "BatchNorm2d", "Linear",
+                 "ModelGraph", "resnet20", "resnet32", "resnet56",
+                 "resnet50_cifar", "resnet50_imagenet", "wide_resnet16",
+                 "vgg11", "vgg13"],
+    "repro.data": ["Dataset", "DataLoader", "Augmenter", "make_synthetic",
+                   "cifar10s", "cifar100s", "imagenet_s"],
+    "repro.optim": ["SGD", "StepLR", "ConstantLR", "milestones_for"],
+    "repro.prune": ["GroupLasso", "prune_and_reconfigure",
+                    "space_keep_masks", "zero_sparsified_groups",
+                    "ChannelTracker", "GatedPathRunner", "UnionPathRunner",
+                    "density_report", "junctions"],
+    "repro.costmodel": ["inference_flops", "training_flops_per_sample",
+                        "MemoryModel", "iteration_memory_bytes",
+                        "bn_traffic_bytes", "ring_allreduce_bytes",
+                        "DeviceModel", "iteration_time", "epoch_time",
+                        "V100", "GTX_1080TI"],
+    "repro.distributed": ["ring_allreduce", "data_parallel_step",
+                          "DynamicBatchAdjuster"],
+    "repro.train": ["Trainer", "TrainerConfig", "PruneTrainTrainer",
+                    "PruneTrainConfig", "SSLTrainer", "OneTimeTrainer",
+                    "AMCLikePruner", "fine_tune", "RunLog"],
+    "repro.io": ["save_checkpoint", "load_checkpoint"],
+    "repro.analysis": ["summarize", "summary_table"],
+    "repro.experiments": ["SMOKE", "QUICK", "PAPER", "Runs", "get_runs",
+                          "make_model", "make_dataset"],
+}
+
+
+@pytest.mark.parametrize("modname", PUBLIC_MODULES)
+def test_module_imports_and_documented(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, \
+        f"{modname} lacks a module docstring"
+
+
+@pytest.mark.parametrize("modname", sorted(PUBLIC_NAMES))
+def test_public_names_exist(modname):
+    mod = importlib.import_module(modname)
+    for name in PUBLIC_NAMES[modname]:
+        assert hasattr(mod, name), f"{modname}.{name} missing"
+
+
+@pytest.mark.parametrize("modname", sorted(PUBLIC_NAMES))
+def test_public_callables_have_docstrings(modname):
+    mod = importlib.import_module(modname)
+    for name in PUBLIC_NAMES[modname]:
+        obj = getattr(mod, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"{modname}.{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2

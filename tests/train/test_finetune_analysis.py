@@ -1,0 +1,70 @@
+"""Fine-tuning phase and model-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LayerSummary, summarize, summary_table
+from repro.costmodel import GTX_1080TI, inference_flops
+from repro.nn import resnet20, resnet50_cifar
+from repro.train.finetune import fine_tune
+
+
+class TestFineTune:
+    def test_runs_and_logs(self, tiny_train, tiny_val):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        log = fine_tune(m, tiny_train, tiny_val, epochs=2, lr=1e-2,
+                        batch_size=64)
+        assert log.method == "finetune"
+        assert len(log.records) == 2
+        np.testing.assert_allclose(log.series("lr"), 1e-2, rtol=1e-9)
+
+    def test_improves_training_loss(self, tiny_train, tiny_val):
+        m = resnet20(10, width_mult=0.5, input_hw=8)
+        log1 = fine_tune(m, tiny_train, tiny_val, epochs=1, lr=5e-2,
+                         batch_size=64)
+        log2 = fine_tune(m, tiny_train, tiny_val, epochs=1, lr=5e-2,
+                         batch_size=64)
+        assert log2.records[-1].train_loss < log1.records[0].train_loss
+
+
+class TestSummary:
+    def test_rows_cover_all_layers(self):
+        m = resnet50_cifar(10, width_mult=0.25, input_hw=16)
+        rows = summarize(m)
+        conv_rows = [r for r in rows if r.kind.startswith("conv")]
+        bn_rows = [r for r in rows if r.kind == "batchnorm"]
+        assert len(conv_rows) == len(m.graph.active_convs())
+        assert len(bn_rows) == len(conv_rows)  # every conv has a BN
+        assert any(r.kind == "linear" for r in rows)
+
+    def test_flops_total_consistent_with_costmodel(self):
+        m = resnet20(10, width_mult=0.25, input_hw=16)
+        rows = summarize(m)
+        total = sum(r.flops for r in rows)
+        assert total == pytest.approx(inference_flops(m.graph), rel=0.02)
+
+    def test_bn_is_memory_bound_conv_mostly_compute_bound(self):
+        m = resnet50_cifar(10, width_mult=1.0, input_hw=32)
+        rows = summarize(m)
+        bns = [r for r in rows if r.kind == "batchnorm"]
+        assert all(r.bound(GTX_1080TI) == "memory" for r in bns)
+        conv3x3 = [r for r in rows if r.kind == "conv3x3"
+                   and r.in_channels >= 64]
+        assert any(r.bound(GTX_1080TI) == "compute" for r in conv3x3)
+
+    def test_table_renders(self):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        out = summary_table(m, GTX_1080TI)
+        assert "stem" in out and "total:" in out and "bound" in out
+
+    def test_summary_tracks_pruning(self):
+        from repro.prune import prune_and_reconfigure
+        m = resnet20(10, width_mult=0.5, input_hw=8)
+        before = sum(r.params for r in summarize(m))
+        node = m.graph.conv_by_name("s0b0.conv1")
+        node.conv.weight.data[1] = 0
+        reader = m.graph.readers(node.out_space)[0]
+        reader.conv.weight.data[:, 1] = 0
+        prune_and_reconfigure(m)
+        after = sum(r.params for r in summarize(m))
+        assert after < before

@@ -1,0 +1,95 @@
+"""RunLog aggregation and serialization edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.train import EpochRecord, RunLog
+
+
+def make_log(n=5, flops=100.0, bs=32, train_size=320):
+    log = RunLog(model_name="m", dataset_name="d", method="x")
+    log.notes["train_size"] = train_size
+    cum = 0.0
+    for e in range(n):
+        cum += flops * 3 * train_size
+        log.append(EpochRecord(
+            epoch=e, train_loss=1.0 / (e + 1), train_acc=0.5 + 0.1 * e,
+            val_acc=0.4 + 0.1 * e, batch_size=bs,
+            inference_flops=flops * (1 - 0.1 * e),
+            train_flops_per_sample=3 * flops * (1 - 0.1 * e),
+            cumulative_train_flops=cum,
+            bn_bytes_per_iter=1000.0, comm_bytes_epoch=5000.0,
+            memory_bytes=1e6, params=1000,
+            epoch_time_model={"1080ti": 2.0, "v100": 1.0}))
+    return log
+
+
+class TestAggregates:
+    def test_final_and_best_val_acc(self):
+        log = make_log(5)
+        assert log.final_val_acc == pytest.approx(0.8)
+        assert log.best_val_acc == pytest.approx(0.8)
+
+    def test_empty_log_safe(self):
+        log = RunLog()
+        assert log.final_val_acc == 0.0
+        assert log.best_val_acc == 0.0
+        assert log.total_train_flops == 0.0
+
+    def test_total_train_flops_is_last_cumulative(self):
+        log = make_log(4)
+        assert log.total_train_flops == \
+            log.records[-1].cumulative_train_flops
+
+    def test_total_epoch_time(self):
+        log = make_log(5)
+        assert log.total_epoch_time("1080ti") == pytest.approx(10.0)
+        assert log.total_epoch_time("v100") == pytest.approx(5.0)
+        assert log.total_epoch_time("unknown") == 0.0
+
+    def test_total_bn_bytes_uses_iterations(self):
+        log = make_log(2, bs=32, train_size=320)  # 10 iters/epoch
+        assert log.total_bn_bytes == pytest.approx(2 * 10 * 1000.0)
+
+    def test_total_comm(self):
+        log = make_log(3)
+        assert log.total_comm_bytes == pytest.approx(15000.0)
+
+    def test_series(self):
+        log = make_log(3)
+        np.testing.assert_allclose(log.series("epoch"), [0, 1, 2])
+        assert log.series("val_acc").shape == (3,)
+
+
+class TestRelativeTo:
+    def test_identity(self):
+        log = make_log(4)
+        rel = log.relative_to(log)
+        assert rel["train_flops_ratio"] == pytest.approx(1.0)
+        assert rel["inference_flops_ratio"] == pytest.approx(1.0)
+        assert rel["comm_ratio"] == pytest.approx(1.0)
+        assert rel["bn_ratio"] == pytest.approx(1.0)
+        assert rel["time_ratio_v100"] == pytest.approx(1.0)
+        assert rel["val_acc_delta"] == pytest.approx(0.0)
+
+    def test_cheaper_run_has_smaller_ratios(self):
+        base = make_log(4, flops=100.0)
+        cheap = make_log(4, flops=50.0)
+        rel = cheap.relative_to(base)
+        assert rel["train_flops_ratio"] == pytest.approx(0.5)
+        assert rel["inference_flops_ratio"] == pytest.approx(0.5)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        log = make_log(3)
+        log2 = RunLog.from_dict(log.to_dict())
+        assert log2.model_name == "m"
+        assert log2.notes["train_size"] == 320
+        for a, b in zip(log.records, log2.records):
+            assert a == b
+
+    def test_dict_is_json_safe(self):
+        import json
+        log = make_log(2)
+        json.dumps(log.to_dict())  # must not raise

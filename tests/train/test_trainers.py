@@ -1,0 +1,363 @@
+"""Trainers: dense baseline, PruneTrain (Algorithm 1), SSL, one-time, AMC.
+
+These tests run tiny configurations and verify *mechanics* (λ setup, reg
+gradients applied, reconfigurations executed, logs populated, state
+consistency) rather than learning outcomes, which the benchmark suite
+exercises at a larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import MemoryModel, iteration_memory_bytes
+from repro.data import make_synthetic
+from repro.distributed import DynamicBatchAdjuster
+from repro.nn import resnet20, resnet50_cifar, vgg11
+from repro.train import (AMCLikeConfig, AMCLikePruner, OneTimeConfig,
+                         OneTimeTrainer, PruneTrainConfig, PruneTrainTrainer,
+                         RunLog, SSLConfig, SSLTrainer, Trainer,
+                         TrainerConfig)
+
+
+@pytest.fixture(scope="module")
+def data():
+    train = make_synthetic(10, 128, hw=8, noise=0.8, seed=0, name="t")
+    val = make_synthetic(10, 64, hw=8, noise=0.8, seed=1, name="v")
+    return train, val
+
+
+def tiny_cfg(**kw):
+    base = dict(epochs=3, batch_size=32, augment=False, log_every=0)
+    base.update(kw)
+    return base
+
+
+class TestDenseTrainer:
+    def test_produces_full_log(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg()))
+        log = tr.train()
+        assert len(log.records) == 3
+        rec = log.records[-1]
+        assert rec.inference_flops > 0
+        assert rec.memory_bytes > 0
+        assert rec.bn_bytes_per_iter > 0
+        assert rec.cumulative_train_flops > 0
+        assert "1080ti" in rec.epoch_time_model
+        assert 0 <= rec.val_acc <= 1
+
+    def test_loss_decreases(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.5, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg(epochs=5)))
+        log = tr.train()
+        losses = log.series("train_loss")
+        assert losses[-1] < losses[0]
+
+    def test_lr_schedule_applied(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg(epochs=4, lr=0.1)))
+        log = tr.train()
+        lrs = log.series("lr")
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[-1] < 0.1  # decayed at 50%/75% milestones
+
+    def test_cumulative_flops_monotone(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg()))
+        log = tr.train()
+        cum = log.series("cumulative_train_flops")
+        assert (np.diff(cum) > 0).all()
+
+    def test_data_parallel_workers(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg(epochs=2, workers=2)))
+        log = tr.train()
+        assert log.records[-1].comm_bytes_epoch > 0
+
+
+class TestPruneTrainTrainer:
+    def _trainer(self, data, **cfg_kw):
+        train, val = data
+        base = dict(penalty_ratio=0.25, reconfig_interval=1,
+                    lambda_scale=50.0, threshold=5e-3, zero_sparse=True)
+        base.update(cfg_kw)
+        model = resnet50_cifar(10, width_mult=0.25, input_hw=8)
+        return PruneTrainTrainer(model, train, val,
+                                 PruneTrainConfig(**tiny_cfg(), **base))
+
+    def test_lambda_set_on_first_batch(self, data):
+        tr = self._trainer(data)
+        assert tr.lasso.lam is None
+        tr.train()
+        assert tr.lasso.lam is not None and tr.lasso.lam > 0
+
+    def test_lambda_scale_applied(self, data):
+        t1 = self._trainer(data, lambda_scale=1.0)
+        t1.train()
+        t2 = self._trainer(data, lambda_scale=50.0)
+        t2.train()
+        assert t2.lasso.lam == pytest.approx(50.0 * t1.lasso.lam, rel=0.3)
+
+    def test_rate_mode_lambda_architecture_independent(self, data):
+        """In "rate" mode, λ targets a fixed norm-decay budget, so it must
+        be of the same magnitude for small and large models (unlike Eq. 3's
+        λ ∝ 1/R, which starves big models on short schedules)."""
+        train, val = data
+        lams = {}
+        for name, factory, wm in [("small", resnet20, 0.25),
+                                  ("large", resnet50_cifar, 0.375)]:
+            model = factory(10, width_mult=wm, input_hw=8)
+            cfg = PruneTrainConfig(**tiny_cfg(epochs=1), penalty_ratio=0.25,
+                                   lambda_mode="rate", reconfig_interval=0)
+            tr = PruneTrainTrainer(model, train, val, cfg)
+            tr.train()
+            lams[name] = tr.lasso.lam
+        assert 0.2 < lams["large"] / lams["small"] < 5.0
+
+    def test_rate_mode_scales_with_ratio(self, data):
+        train, val = data
+        lams = []
+        for ratio in (0.1, 0.25, 0.4):
+            model = resnet20(10, width_mult=0.25, input_hw=8)
+            cfg = PruneTrainConfig(**tiny_cfg(epochs=1), penalty_ratio=ratio,
+                                   lambda_mode="rate", reconfig_interval=0)
+            tr = PruneTrainTrainer(model, train, val, cfg)
+            tr.train()
+            lams.append(tr.lasso.lam)
+        assert lams[0] < lams[1] < lams[2]
+
+    def test_unknown_lambda_mode_raises(self, data):
+        train, val = data
+        model = resnet20(10, width_mult=0.25, input_hw=8)
+        cfg = PruneTrainConfig(**tiny_cfg(epochs=1), penalty_ratio=0.25,
+                               lambda_mode="bogus")
+        tr = PruneTrainTrainer(model, train, val, cfg)
+        with pytest.raises(ValueError, match="lambda_mode"):
+            tr.train()
+
+    def test_auto_threshold_set_above_floor(self, data):
+        train, val = data
+        model = resnet20(10, width_mult=0.25, input_hw=8)
+        cfg = PruneTrainConfig(**tiny_cfg(epochs=1), penalty_ratio=0.25,
+                               lambda_mode="rate", threshold=None,
+                               reconfig_interval=0)
+        tr = PruneTrainTrainer(model, train, val, cfg)
+        tr.train()
+        assert tr.cfg.threshold >= 1e-4
+        assert tr.cfg.threshold == pytest.approx(
+            max(1e-4, 3.0 * cfg.lr * tr.lasso.lam))
+
+    def test_reconfigures_every_interval(self, data):
+        tr = self._trainer(data)
+        tr.train()
+        # interval=1, 3 epochs, margin 0 -> reconfigs at end of epochs 1, 2
+        assert len(tr.reports) == 2
+
+    def test_no_reconfig_when_interval_zero(self, data):
+        tr = self._trainer(data, reconfig_interval=0)
+        tr.train()
+        assert tr.reports == []
+
+    def test_reg_loss_logged(self, data):
+        tr = self._trainer(data)
+        log = tr.train()
+        assert log.records[-1].reg_loss > 0
+        assert log.records[-1].lam > 0
+
+    def test_graph_valid_throughout(self, data):
+        tr = self._trainer(data)
+        tr.train()
+        tr.model.graph.validate()
+
+    def test_regularization_shrinks_weight_norms(self, data):
+        dense = Trainer(resnet50_cifar(10, width_mult=0.25, input_hw=8),
+                        *data, TrainerConfig(**tiny_cfg()))
+        dense.train()
+        pt = self._trainer(data, reconfig_interval=0)
+        pt.train()
+        norm_dense = sum(float((p.data ** 2).sum())
+                         for p in dense.model.parameters())
+        norm_pt = sum(float((p.data ** 2).sum())
+                      for p in pt.model.parameters())
+        assert norm_pt < norm_dense
+
+    def test_tracker_integration(self, data):
+        train, val = data
+        model = resnet50_cifar(10, width_mult=0.25, input_hw=8)
+        cfg = PruneTrainConfig(**tiny_cfg(), penalty_ratio=0.25,
+                               reconfig_interval=1, lambda_scale=50.0,
+                               threshold=5e-3)
+        tr = PruneTrainTrainer(model, train, val, cfg,
+                               track_convs=("s0b0.conv1",))
+        tr.train()
+        assert tr.tracker.matrix("s0b0.conv1").shape[0] == 3
+
+    def test_last_reconfig_margin(self, data):
+        tr = self._trainer(data, last_reconfig_margin=3)
+        tr.train()
+        assert tr.reports == []  # margin blocks all reconfigs in 3 epochs
+
+
+class TestDynamicBatch:
+    def test_batch_grows_when_capacity_allows(self, data):
+        train, val = data
+        model = resnet50_cifar(10, width_mult=0.25, input_hw=8)
+        cap = iteration_memory_bytes(model.graph, 32) * 4  # generous
+        adjuster = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
+                                        max_batch=128)
+        cfg = PruneTrainConfig(**tiny_cfg(), penalty_ratio=0.25,
+                               reconfig_interval=1, lambda_scale=50.0,
+                               threshold=5e-3)
+        tr = PruneTrainTrainer(model, train, val, cfg,
+                               batch_adjuster=adjuster)
+        log = tr.train()
+        assert log.records[-1].batch_size > 32
+        assert tr.lr_scale > 1.0
+
+    def test_lr_scale_tracks_batch_ratio(self, data):
+        train, val = data
+        model = resnet50_cifar(10, width_mult=0.25, input_hw=8)
+        cap = iteration_memory_bytes(model.graph, 32) * 4
+        adjuster = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
+                                        max_batch=128)
+        cfg = PruneTrainConfig(**tiny_cfg(), penalty_ratio=0.25,
+                               reconfig_interval=1, lambda_scale=50.0,
+                               threshold=5e-3)
+        tr = PruneTrainTrainer(model, train, val, cfg,
+                               batch_adjuster=adjuster)
+        log = tr.train()
+        assert tr.lr_scale == pytest.approx(
+            log.records[-1].batch_size / 32, rel=1e-6)
+
+
+class TestSSLTrainer:
+    def test_two_phases_merged(self, data):
+        train, val = data
+        model = resnet20(10, width_mult=0.25, input_hw=8)
+        cfg = SSLConfig(**tiny_cfg(epochs=2), penalty_ratio=0.25,
+                        lambda_scale=50.0, threshold=5e-3,
+                        pretrain_epochs=2)
+        tr = SSLTrainer(model, train, val, cfg)
+        log = tr.train()
+        assert len(log.records) == 4  # 2 pretrain + 2 sparsify
+        assert log.method == "ssl"
+        # cumulative FLOPs continue across phases
+        cum = log.series("cumulative_train_flops")
+        assert (np.diff(cum) > 0).all()
+
+    def test_ssl_never_reconfigures_midrun(self, data):
+        train, val = data
+        model = resnet20(10, width_mult=0.25, input_hw=8)
+        cfg = SSLConfig(**tiny_cfg(epochs=2), penalty_ratio=0.25,
+                        lambda_scale=50.0, threshold=5e-3,
+                        pretrain_epochs=1)
+        assert cfg.reconfig_interval == 0
+        tr = SSLTrainer(model, train, val, cfg)
+        log = tr.train()
+        # params constant until the final one-shot prune
+        params = log.series("params")
+        assert (params == params[0]).all()
+
+    def test_ssl_training_cost_about_twice_dense(self, data):
+        train, val = data
+        dense_model = resnet20(10, width_mult=0.25, input_hw=8)
+        dense = Trainer(dense_model, train, val,
+                        TrainerConfig(**tiny_cfg(epochs=2))).train()
+        model = resnet20(10, width_mult=0.25, input_hw=8)
+        cfg = SSLConfig(**tiny_cfg(epochs=2), penalty_ratio=0.25,
+                        lambda_scale=1.0, threshold=1e-4, pretrain_epochs=2)
+        ssl = SSLTrainer(model, train, val, cfg).train()
+        ratio = ssl.total_train_flops / dense.total_train_flops
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+class TestOneTimeTrainer:
+    def test_single_reconfiguration(self, data):
+        train, val = data
+        model = resnet50_cifar(10, width_mult=0.25, input_hw=8)
+        cfg = OneTimeConfig(**tiny_cfg(epochs=4), penalty_ratio=0.25,
+                            lambda_scale=50.0, threshold=5e-3,
+                            reconfig_epoch=2)
+        tr = OneTimeTrainer(model, train, val, cfg)
+        tr.train()
+        assert len(tr.reports) == 1
+
+    def test_no_reconfig_before_epoch(self, data):
+        train, val = data
+        model = resnet50_cifar(10, width_mult=0.25, input_hw=8)
+        cfg = OneTimeConfig(**tiny_cfg(epochs=2), penalty_ratio=0.25,
+                            lambda_scale=50.0, threshold=5e-3,
+                            reconfig_epoch=10)
+        tr = OneTimeTrainer(model, train, val, cfg)
+        tr.train()
+        assert tr.reports == []
+
+
+class TestAMCLike:
+    def test_reaches_flops_target(self, data):
+        from repro.costmodel import inference_flops
+        train, val = data
+        model = resnet20(10, width_mult=0.5, input_hw=8)
+        cfg = AMCLikeConfig(**tiny_cfg(epochs=1), pretrain_epochs=1,
+                            finetune_epochs=1, max_rounds=10,
+                            target_inference_ratio=0.6)
+        pruner = AMCLikePruner(model, train, val, cfg)
+        log = pruner.run()
+        assert log.notes["dense_inference_flops"] > 0
+        assert inference_flops(model.graph) <= \
+            0.65 * log.notes["dense_inference_flops"]
+
+    def test_model_still_functional(self, data, rng):
+        from repro.tensor import Tensor, no_grad
+        train, val = data
+        model = resnet20(10, width_mult=0.5, input_hw=8)
+        cfg = AMCLikeConfig(**tiny_cfg(epochs=1), pretrain_epochs=1,
+                            finetune_epochs=1, max_rounds=4,
+                            target_inference_ratio=0.7)
+        AMCLikePruner(model, train, val, cfg).run()
+        model.eval()
+        with no_grad():
+            out = model(Tensor(rng.normal(size=(2, 3, 8, 8))
+                               .astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+    def test_channel_importance_ranks_magnitudes(self):
+        from repro.train import channel_importance
+        m = vgg11(10, width_mult=0.25, input_hw=8)
+        node = m.graph.conv_by_name("conv2")
+        node.conv.weight.data[0] *= 0.01  # make channel 0 unimportant
+        reader = m.graph.readers(node.out_space)[0]
+        reader.conv.weight.data[:, 0] *= 0.01
+        scores = channel_importance(m.graph)
+        sid = node.out_space
+        vals = [scores[(sid, c)] for c in range(node.conv.out_channels)]
+        assert np.argmin(vals) == 0
+
+
+class TestRunLogSerialization:
+    def test_roundtrip(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg(epochs=2)))
+        log = tr.train()
+        log2 = RunLog.from_dict(log.to_dict())
+        assert log2.final_val_acc == log.final_val_acc
+        assert log2.total_train_flops == log.total_train_flops
+        assert len(log2.records) == len(log.records)
+        assert log2.records[0].epoch_time_model == \
+            log.records[0].epoch_time_model
+
+    def test_relative_to_keys(self, data):
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg(epochs=2)))
+        log = tr.train()
+        rel = log.relative_to(log)
+        assert rel["train_flops_ratio"] == pytest.approx(1.0)
+        assert rel["inference_flops_ratio"] == pytest.approx(1.0)
+        assert rel["val_acc_delta"] == pytest.approx(0.0)
