@@ -1,0 +1,38 @@
+"""Perf smoke test: the optimized engine must beat the seed engine.
+
+Runs a shortened version of the ``bench_engine`` harness (same workloads,
+fewer repetitions) and writes ``results/BENCH_engine.json`` so CI can upload
+it as an artifact.  The assertion bar here is deliberately below the
+acceptance-grade 1.5x (measured by the full ``python
+benchmarks/perf/bench_engine.py`` run and committed in the results file):
+CI machines are noisy and a smoke test should not flake on scheduler
+jitter — it only guards against the optimizations regressing to parity.
+"""
+
+import json
+import os
+
+import bench_engine
+
+
+def test_engine_speedup_smoke():
+    results = bench_engine.run_bench(repeats=3, number=2,
+                                     step_warmup=2, step_iters=3,
+                                     step_rounds=5)
+    path = bench_engine.write_results(results)
+    assert os.path.exists(path)
+    with open(path) as fh:
+        written = json.load(fh)
+
+    step = written["train_step"]
+    assert step["before_ms"] > 0 and step["after_ms"] > 0
+    assert step["speedup"] > 1.15, (
+        f"optimized engine no faster than seed: {step}")
+
+    # The pool must actually be exercised by the training step, and the
+    # steady state must be hit-dominated (misses only populate it).
+    pool = written["workspace_pool"]
+    assert pool["hits"] > pool["misses"] > 0
+
+    for name, row in written["micro"].items():
+        assert row["before_ms"] > 0 and row["after_ms"] > 0, name

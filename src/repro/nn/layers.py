@@ -63,10 +63,13 @@ class BatchNorm2d(Module):
         self.running_mean = np.zeros(num_features, dtype=np.float32)
         self.running_var = np.ones(num_features, dtype=np.float32)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, relu: bool = False) -> Tensor:
+        """Normalize ``x``; ``relu=True`` fuses the following rectifier into
+        the same kernel (used by the models when
+        ``workspace.config.fused_bnrelu`` is on)."""
         return F.batch_norm(x, self.weight, self.bias, self.running_mean,
                             self.running_var, self.momentum, self.eps,
-                            self.training)
+                            self.training, relu=relu)
 
     def __repr__(self) -> str:
         return f"BatchNorm2d({self.num_features})"

@@ -39,8 +39,8 @@ class Module:
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def __call__(self, x: Tensor) -> Tensor:
-        return self.forward(x)
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
 
     # -- traversal -------------------------------------------------------
     def named_children(self) -> Iterator[Tuple[str, "Module"]]:

@@ -18,6 +18,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor import functional as F
+from ..tensor.workspace import config as _engine
 from .graph import ModelGraph
 from .layers import (BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d,
                      ReLU)
@@ -26,6 +28,21 @@ from .module import Module
 
 def _scale(c: int, width_mult: float) -> int:
     return max(1, int(round(c * width_mult)))
+
+
+def _bn_relu(bn: BatchNorm2d, relu: ReLU, x: Tensor) -> Tensor:
+    """BN followed by ReLU, fused into one kernel when the engine allows."""
+    if _engine.fused_bnrelu:
+        return bn(x, relu=True)
+    return relu(bn(x))
+
+
+def _join(relu: ReLU, out: Tensor, shortcut: Tensor) -> Tensor:
+    """Residual join ``relu(out + shortcut)``, fused when the engine allows
+    (the ``fused_bnrelu`` switch governs all elementwise kernel fusion)."""
+    if _engine.fused_bnrelu:
+        return F.add_relu(out, shortcut)
+    return relu(out + shortcut)
 
 
 class BasicBlock(Module):
@@ -52,9 +69,9 @@ class BasicBlock(Module):
             shortcut = self.proj_bn(self.proj(x))
         if not self.active:
             return self.relu(shortcut)
-        out = self.relu(self.bn1(self.conv1(x)))
+        out = _bn_relu(self.bn1, self.relu, self.conv1(x))
         out = self.bn2(self.conv2(out))
-        return self.relu(out + shortcut)
+        return _join(self.relu, out, shortcut)
 
 
 class Bottleneck(Module):
@@ -83,10 +100,10 @@ class Bottleneck(Module):
             shortcut = self.proj_bn(self.proj(x))
         if not self.active:
             return self.relu(shortcut)
-        out = self.relu(self.bn1(self.conv1(x)))
-        out = self.relu(self.bn2(self.conv2(out)))
+        out = _bn_relu(self.bn1, self.relu, self.conv1(x))
+        out = _bn_relu(self.bn2, self.relu, self.conv2(out))
         out = self.bn3(self.conv3(out))
-        return self.relu(out + shortcut)
+        return _join(self.relu, out, shortcut)
 
 
 class ResNet(Module):
@@ -184,7 +201,7 @@ class ResNet(Module):
         g.validate()
 
     def forward(self, x: Tensor) -> Tensor:
-        out = self.stem_relu(self.stem_bn(self.stem(x)))
+        out = _bn_relu(self.stem_bn, self.stem_relu, self.stem(x))
         if self.stem_pool is not None:
             out = self.stem_pool(out)
         for stage in self.stages:

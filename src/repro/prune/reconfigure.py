@@ -27,6 +27,7 @@ import numpy as np
 
 from ..nn.graph import ConvNode, ModelGraph
 from ..nn.module import Module, Parameter
+from ..tensor import workspace
 from .sparsity import (DEFAULT_THRESHOLD, all_conv_sparsity, conv_sparsity,
                        space_keep_masks)
 
@@ -206,6 +207,12 @@ def apply_space_masks(model: Module, masks: Dict[int, np.ndarray],
 
     for sid, keep in masks.items():
         graph.spaces[sid].size = int(keep.sum())
+
+    # Channel surgery changed every activation shape in the model, so all
+    # workspace buffers cached for the old shapes are dead weight: drop them
+    # (the paper's "dense reconfiguration" moment — the pool re-populates at
+    # the new, smaller shapes on the next iteration).
+    workspace.invalidate()
 
 
 def zero_sparsified_groups(graph: ModelGraph,

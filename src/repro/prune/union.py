@@ -35,16 +35,27 @@ class JunctionInfo:
 
 
 def junctions(graph: ModelGraph) -> List[JunctionInfo]:
-    """Channel spaces shared by more than two convs (the residual nodes)."""
+    """Channel spaces where multiple convs *write* (the residual sum nodes).
+
+    The paper's channel-union rule (Fig. 5c) applies where several layers'
+    outputs are summed into one residual node: those writers (and the node's
+    readers) must keep "the union of all dense channels".  A space with a
+    single writer — e.g. the stem's output fanning out to a bottleneck
+    block's conv1 *and* its projection — is not a junction: no sum happens
+    there, and pruning degenerates to the paper's adjacent-layer
+    intersection rule, so requiring ``>= 2`` writers (rather than ``> 2``
+    total members) is what separates true residual nodes from mere fan-out.
+    """
     out = []
     for sid, space in graph.spaces.items():
         if space.frozen:
             continue
         writers = [c.name for c in graph.writers(sid)]
+        if len(writers) < 2:
+            continue
         readers = [c.name for c in graph.readers(sid)]
-        if len(writers) + len(readers) > 2:
-            out.append(JunctionInfo(sid, space.name, space.size,
-                                    writers, readers))
+        out.append(JunctionInfo(sid, space.name, space.size,
+                                writers, readers))
     return out
 
 

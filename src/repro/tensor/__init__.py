@@ -7,9 +7,14 @@ Public surface:
 - :mod:`repro.tensor.functional` — conv2d, linear, batch_norm, pooling,
   activations, losses, and the channel gather/scatter ops used by the
   channel-gating baseline.
+- :mod:`repro.tensor.workspace` — the shape-keyed buffer pool the kernels
+  draw scratch from, plus the engine-optimization switchboard
+  (``workspace.config``, ``workspace.baseline_engine``).
 """
 
-from . import functional
+from . import functional, workspace
 from .tensor import Tensor, grad_enabled, no_grad
+from .workspace import WorkspacePool, baseline_engine
 
-__all__ = ["Tensor", "no_grad", "grad_enabled", "functional"]
+__all__ = ["Tensor", "no_grad", "grad_enabled", "functional",
+           "workspace", "WorkspacePool", "baseline_engine"]

@@ -3,14 +3,34 @@
 Each function takes and returns :class:`~repro.tensor.tensor.Tensor` objects
 and records the backward closure on the output node.  These are the
 primitives the ``repro.nn`` layer classes call.
+
+This layer owns two cross-cutting concerns of the performance overhaul:
+
+- **Workspace-buffer lifetimes.**  Kernels may return gradients in pooled
+  buffers and stash pooled staging in their forward context.  Kernel-produced
+  gradients are *donated* to the receiving tensor whenever possible
+  (:func:`_give_grad` / ``Tensor._accumulate_donated``): the array itself
+  becomes the gradient — no first-touch copy — and the backward pass returns
+  pooled buffers to the workspace when it drops interior gradients.  The one
+  case that still copies is a pooled gradient landing on a *leaf* tensor
+  (its grad outlives the backward pass, and a retained pool buffer would
+  stay lent forever).  Forward staging is released once backward has
+  consumed it (or immediately under ``no_grad``).
+
+- **Op-level profiling.**  Every op is bracketed with
+  ``repro.profiler.PROFILER`` guards; the disabled cost is one attribute
+  check per call.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
+from ..profiler import PROFILER as _P
+from . import workspace as ws
 from .ops import conv as _conv
 from .ops import loss as _loss
 from .ops import norm as _norm
@@ -18,40 +38,91 @@ from .ops import pool as _pool
 from .tensor import Tensor, grad_enabled
 
 
+def _give_grad(t: Tensor, arr: np.ndarray) -> None:
+    """Hand a kernel-produced gradient (exact shape/dtype, unaliased) to ``t``.
+
+    Donates the array outright unless it is a pool buffer landing on a leaf
+    tensor — a leaf's grad survives the backward pass, so taking ownership
+    of a pooled buffer there would pin it in the pool's lent set; that case
+    copies and releases instead.
+    """
+    if not ws.config.pooling:
+        # Seed-engine semantics for honest A/B benchmarks: copy on first
+        # touch, no ownership transfer.
+        t._accumulate(arr)
+        ws.release(arr)
+    elif t._backward is not None or not ws.POOL.owns(arr):
+        t._accumulate_donated(arr)
+    else:
+        t._accumulate(arr)
+        ws.release(arr)
+
+
 def relu(x: Tensor) -> Tensor:
-    """Elementwise rectifier."""
-    mask = x.data > 0
-    out_data = x.data * mask
+    """Elementwise rectifier (single-pass; mask recovered from output sign)."""
+    out_data = np.maximum(x.data, 0)
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate(g * mask)
+        _give_grad(x, g * (out_data > 0))
 
     return Tensor._make(out_data, (x,), backward)
+
+
+def add_relu(a: Tensor, b: Tensor) -> Tensor:
+    """Fused residual join ``relu(a + b)``.
+
+    One graph node instead of two, and the backward pass donates a fresh
+    masked gradient to each parent instead of copying the joint gradient
+    twice (the ``__add__`` + ``relu`` formulation's first-touch copies are
+    the single largest per-block gradient traffic after the convolutions).
+    """
+    out_data = a.data + b.data
+    np.maximum(out_data, 0, out=out_data)
+
+    def backward(g: np.ndarray) -> None:
+        mask = out_data > 0
+        _give_grad(a, g * mask)
+        _give_grad(b, g * mask)
+
+    return Tensor._make(out_data, (a, b), backward)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor],
            stride: int = 1, padding: int = 0, first_layer: bool = False
            ) -> Tensor:
     """2-D convolution, NCHW.  ``first_layer`` skips dx for the input layer."""
-    y, cols = _conv.conv2d_forward(
+    prof = _P.enabled
+    if prof:
+        t0 = time.perf_counter()
+    y, ctx = _conv.conv2d_forward(
         x.data, weight.data, bias.data if bias is not None else None,
         stride, padding)
+    if prof:
+        _P.add("conv2d_fwd", time.perf_counter() - t0, y.nbytes)
     if not grad_enabled():
+        _conv.release_ctx(ctx)
         return Tensor(y)
     x_shape = x.data.shape
     w_data = weight.data
     parents = (x, weight) + ((bias,) if bias is not None else ())
 
     def backward(g: np.ndarray) -> None:
+        prof = _P.enabled
+        if prof:
+            t0 = time.perf_counter()
         need_dx = x.requires_grad or x._backward is not None
         dx, dw, db = _conv.conv2d_backward(
-            g, cols, x_shape, w_data, stride, padding,
-            need_dx=need_dx and not first_layer)
+            g, ctx, x_shape, w_data, stride, padding,
+            need_dx=need_dx and not first_layer,
+            need_db=bias is not None)
         if dx is not None:
-            x._accumulate(dx)
-        weight._accumulate(dw)
+            _give_grad(x, dx)
+        _conv.release_ctx(ctx)
+        _give_grad(weight, dw)
         if bias is not None:
-            bias._accumulate(db)
+            _give_grad(bias, db)
+        if prof:
+            _P.add("conv2d_bwd", time.perf_counter() - t0, dw.nbytes)
 
     return Tensor._make(y, parents, backward)
 
@@ -66,10 +137,10 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
     x_data = x.data
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate(g @ w_data)
-        weight._accumulate(g.T @ x_data)
+        _give_grad(x, np.matmul(g, w_data))
+        _give_grad(weight, np.matmul(g.T, x_data))
         if bias is not None:
-            bias._accumulate(g.sum(axis=0))
+            _give_grad(bias, g.sum(axis=0))
 
     return Tensor._make(y, parents, backward)
 
@@ -77,22 +148,38 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
 def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
                running_mean: np.ndarray, running_var: np.ndarray,
                momentum: float = 0.1, eps: float = 1e-5,
-               training: bool = True) -> Tensor:
-    """Channel-wise batch normalization for NCHW inputs."""
+               training: bool = True, relu: bool = False) -> Tensor:
+    """Channel-wise batch normalization for NCHW inputs.
+
+    ``relu=True`` fuses the following rectifier into the same kernel (one
+    output buffer, no separate mask, one graph node instead of two).
+    """
+    prof = _P.enabled
+    if prof:
+        t0 = time.perf_counter()
     y, cache = _norm.batchnorm_forward(
         x.data, gamma.data, beta.data, running_mean, running_var,
-        momentum, eps, training)
+        momentum, eps, training, relu=relu)
+    if prof:
+        _P.add("bn_relu_fwd" if relu else "bn_fwd",
+               time.perf_counter() - t0, y.nbytes)
     if not grad_enabled():
         return Tensor(y)
 
     def backward(g: np.ndarray) -> None:
+        prof = _P.enabled
+        if prof:
+            t0 = time.perf_counter()
         if training:
             dx, dgamma, dbeta = _norm.batchnorm_backward(g, cache)
         else:
             dx, dgamma, dbeta = _norm.batchnorm_eval_backward(g, cache)
-        x._accumulate(dx)
-        gamma._accumulate(dgamma)
-        beta._accumulate(dbeta)
+        _give_grad(x, dx)
+        _give_grad(gamma, dgamma)
+        _give_grad(beta, dbeta)
+        if prof:
+            _P.add("bn_relu_bwd" if relu else "bn_bwd",
+                   time.perf_counter() - t0, 0)
 
     return Tensor._make(y, (x, gamma, beta), backward)
 
@@ -105,7 +192,8 @@ def max_pool2d(x: Tensor, kernel: int) -> Tensor:
     x_shape = x.data.shape
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate(_pool.maxpool2d_backward(g, mask, kernel, x_shape))
+        dx = _pool.maxpool2d_backward(g, mask, kernel, x_shape)
+        _give_grad(x, dx)
 
     return Tensor._make(y, (x,), backward)
 
@@ -118,7 +206,8 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
     x_shape = x.data.shape
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate(_pool.avgpool2d_backward(g, kernel, x_shape))
+        dx = _pool.avgpool2d_backward(g, kernel, x_shape)
+        _give_grad(x, dx)
 
     return Tensor._make(y, (x,), backward)
 
@@ -129,7 +218,8 @@ def global_avg_pool(x: Tensor) -> Tensor:
     x_shape = x.data.shape
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate(_pool.global_avgpool_backward(g, x_shape))
+        dx = _pool.global_avgpool_backward(g, x_shape)
+        _give_grad(x, dx)
 
     return Tensor._make(y, (x,), backward)
 
@@ -140,7 +230,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     loss, probs = _loss.cross_entropy_forward(logits.data, targets)
 
     def backward(g: np.ndarray) -> None:
-        logits._accumulate(_loss.cross_entropy_backward(probs, targets) * g)
+        _give_grad(logits, _loss.cross_entropy_backward(probs, targets) * g)
 
     return Tensor._make(np.asarray(loss, dtype=logits.data.dtype),
                         (logits,), backward)

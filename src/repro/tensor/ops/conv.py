@@ -1,13 +1,41 @@
-"""Vectorized 2-D convolution kernels (im2col + GEMM).
+"""Vectorized 2-D convolution kernels.
 
-Following the hpc-parallel optimization guides, the convolution is lowered to
-a single large matrix multiplication per call: patches are extracted with
-``numpy.lib.stride_tricks.sliding_window_view`` (a zero-copy view), reshaped
-once, and multiplied against the flattened filter bank.  The backward pass
-reuses the same column matrix for the weight gradient and scatters the input
-gradient back with an ``R*S``-iteration strided accumulation (9 iterations
-for a 3x3 kernel) instead of an elementwise ``np.add.at`` scatter, which is
-orders of magnitude slower.
+Two lowerings are provided, selected by ``workspace.config.conv_impl``:
+
+``"einsum"`` (default, the optimized engine)
+    A *gather-once, GEMM-everywhere* lowering.  The forward pass copies the
+    sliding windows of the (padded) input into one pooled column tensor in
+    batched-GEMM layout, ``(N, C*R*S, Ho*Wo)``, then computes ``y`` as a
+    single batched matrix product against the flattened filter bank — no
+    output transpose, because the contraction lands directly in NCHW order.
+    The gather is paid exactly once per layer per step: backward reuses the
+    same column tensor, so
+
+    - ``dw`` is one batched GEMM ``dy @ cols^T`` summed over the batch
+      (the seed engine re-gathered the windows here a second time);
+    - ``dx`` for unit stride is the transposed convolution of ``dy`` with
+      the spatially flipped filters, expressed as a window contraction —
+      ~2x faster than the patch-scatter formulation; strided convs compute
+      per-patch gradients with one batched GEMM and scatter-add them in
+      ``R*S`` strided slice additions.
+
+    1x1 convolutions skip all of this: they are batched ``(K,C)`` x
+    ``(N,C,H*W)`` matrix products in both directions.  Contraction paths
+    for the remaining einsums are memoized per shape signature, and all
+    staging buffers come from the :mod:`repro.tensor.workspace` pool.
+
+``"im2col"`` (the seed engine, kept for A/B benchmarking)
+    Patches are extracted into a column matrix and multiplied against the
+    flattened filter bank; the column matrix is retained for backward.
+
+1x1 convolutions (over half the layers of a bottleneck ResNet) take a fast
+path in both lowerings: the "patch tensor" is just a (strided) view of the
+input, so no window extraction happens at all.
+
+The second value returned by :func:`conv2d_forward` is an opaque context
+consumed by :func:`conv2d_backward`; callers that pool buffers must release
+it via :func:`release_ctx` once backward has run (or immediately under
+``no_grad``).
 
 Layout conventions (PyTorch-compatible):
   activations ``(N, C, H, W)``, filters ``(K, C, R, S)``.
@@ -19,6 +47,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
+
+from .. import workspace as ws
+from ..workspace import config
 
 
 def conv_out_size(h: int, w: int, r: int, s: int, stride: int,
@@ -76,46 +107,165 @@ def _is_pointwise(r: int, s: int, padding: int) -> bool:
     return r == 1 and s == 1 and padding == 0
 
 
+def _pad_into_workspace(x: np.ndarray, padding: int) -> np.ndarray:
+    """Copy ``x`` into a pooled padded buffer (zeroed border strips only —
+    cheaper than a full memset + interior copy)."""
+    n, c, h, w = x.shape
+    p = padding
+    xp = ws.acquire((n, c, h + 2 * p, w + 2 * p), x.dtype)
+    xp[:, :, :p, :] = 0
+    xp[:, :, h + p:, :] = 0
+    xp[:, :, p:h + p, :p] = 0
+    xp[:, :, p:h + p, w + p:] = 0
+    xp[:, :, p:h + p, p:w + p] = x
+    return xp
+
+
+def _windows(xp: np.ndarray, r: int, s: int, stride: int) -> np.ndarray:
+    wdw = sliding_window_view(xp, (r, s), axis=(2, 3))
+    if stride > 1:
+        wdw = wdw[:, :, ::stride, ::stride]
+    return wdw
+
+
 def conv2d_forward(x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
                    stride: int, padding: int
-                   ) -> Tuple[np.ndarray, np.ndarray]:
-    """Forward convolution.  Returns ``(y, cols)``; ``cols`` is kept for backward.
+                   ) -> Tuple[np.ndarray, tuple]:
+    """Forward convolution.  Returns ``(y, ctx)``.
 
-    1x1 convolutions (over half the layers of a bottleneck ResNet) take a
-    fast path: the "patch matrix" is just a channel-last reshape of the
-    (strided) input, so no sliding-window extraction happens at all.
+    ``ctx`` is an opaque context kept for :func:`conv2d_backward` — the
+    column matrix for the im2col lowering, the (padded) input for the einsum
+    lowering.  Release it with :func:`release_ctx` once backward has
+    consumed it.
     """
     n, c, h, wd = x.shape
     k, c2, r, s = w.shape
     if c != c2:
         raise ValueError(f"channel mismatch: input has {c}, filters expect {c2}")
     ho, wo = conv_out_size(h, wd, r, s, stride, padding)
+
     if _is_pointwise(r, s, padding):
+        if config.conv_impl == "einsum":
+            # Batched matmul: (K,C) x (N,C,Ho*Wo).  A strided input is
+            # staged through a pooled buffer so the GEMM sees contiguous
+            # memory; at stride 1 the reshape is a zero-copy view.
+            if stride > 1:
+                xm4 = ws.acquire((n, c, ho, wo), x.dtype)
+                np.copyto(xm4, x[:, :, ::stride, ::stride])
+                xm = xm4.reshape(n, c, ho * wo)
+            else:
+                xm = x.reshape(n, c, ho * wo)
+            y = np.matmul(w.reshape(k, c), xm).reshape(n, k, ho, wo)
+            if b is not None:
+                y += b[None, :, None, None]
+            return y, ("pw", xm)
         xs = x[:, :, ::stride, ::stride] if stride > 1 else x
         cols = np.ascontiguousarray(
             xs.transpose(0, 2, 3, 1)).reshape(n * ho * wo, c)
-    else:
-        cols = im2col(x, r, s, stride, padding)        # (N*Ho*Wo, C*R*S)
-    w_mat = w.reshape(k, c * r * s)                    # (K, C*R*S)
+        return _gemm_forward(cols, w, b, n, k, ho, wo), ("cols", cols)
+
+    if config.conv_impl == "einsum":
+        # Gather the windows once into a pooled (N, C, R, S, Ho, Wo) column
+        # tensor: the trailing Wo axis is stride-1 in the source view, so
+        # the copy runs in long contiguous spans, and the flattened
+        # (N, C*R*S, Ho*Wo) layout feeds batched GEMMs in both passes with
+        # the output already in NCHW order (no transpose on y).
+        if padding > 0:
+            xp = _pad_into_workspace(x, padding)
+        else:
+            xp = x
+        wdw = _windows(xp, r, s, stride)          # (N, C, Ho, Wo, R, S)
+        cols6 = ws.acquire((n, c, r, s, ho, wo), x.dtype)
+        np.copyto(cols6, wdw.transpose(0, 1, 4, 5, 2, 3))
+        if padding > 0:
+            ws.release(xp)
+        y = np.matmul(w.reshape(k, c * r * s),
+                      cols6.reshape(n, c * r * s, ho * wo)
+                      ).reshape(n, k, ho, wo)
+        if b is not None:
+            y += b[None, :, None, None]
+        return y, ("cols6", cols6)
+
+    cols = im2col(x, r, s, stride, padding)            # (N*Ho*Wo, C*R*S)
+    return _gemm_forward(cols, w, b, n, k, ho, wo), ("cols", cols)
+
+
+def _gemm_forward(cols: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
+                  n: int, k: int, ho: int, wo: int) -> np.ndarray:
+    """Seed GEMM lowering: ``cols @ W.T`` plus layout restore."""
+    w_mat = w.reshape(k, -1)                           # (K, C*R*S)
     y = cols @ w_mat.T                                 # (N*Ho*Wo, K)
     if b is not None:
         y += b
     y = y.reshape(n, ho, wo, k).transpose(0, 3, 1, 2)  # (N, K, Ho, Wo)
-    return np.ascontiguousarray(y), cols
+    return np.ascontiguousarray(y)
 
 
-def conv2d_backward(dy: np.ndarray, cols: np.ndarray,
+def conv2d_backward(dy: np.ndarray, ctx: tuple,
                     x_shape: Tuple[int, int, int, int], w: np.ndarray,
-                    stride: int, padding: int, need_dx: bool = True
+                    stride: int, padding: int, need_dx: bool = True,
+                    need_db: bool = True
                     ) -> Tuple[Optional[np.ndarray], np.ndarray,
                                Optional[np.ndarray]]:
     """Backward convolution.
 
     Returns ``(dx, dw, db)``.  ``dx`` is ``None`` when ``need_dx`` is false
-    (first layer of a network).
+    (first layer of a network); ``db`` is ``None`` when ``need_db`` is false
+    (bias-free convs — every conv followed by BN).  ``dx`` may be a pooled
+    buffer — the caller must consume it synchronously and pass it to
+    ``workspace.release``.  ``ctx`` is not released here (it may be reused;
+    the autograd layer owns its lifetime).
     """
     n, c, h, wd = x_shape
     k, _, r, s = w.shape
+    kind, saved = ctx
+
+    if kind == "pw":
+        # 1x1 fast path: batched matmul against the staged (N,C,Ho*Wo) input.
+        xm = saved
+        ho, wo = dy.shape[2], dy.shape[3]
+        dym = dy.reshape(n, k, ho * wo)
+        dw = np.matmul(dym, xm.transpose(0, 2, 1)).sum(axis=0) \
+            .reshape(k, c, 1, 1)
+        db = dy.sum(axis=(0, 2, 3)) if need_db else None
+        dx = None
+        if need_dx:
+            w2t = w.reshape(k, c).T
+            if stride > 1:
+                tmp = ws.acquire((n, c, ho * wo), dy.dtype)
+                np.matmul(w2t, dym, out=tmp)
+                dx = ws.acquire(x_shape, dy.dtype, zero=True)
+                dx[:, :, ::stride, ::stride] = tmp.reshape(n, c, ho, wo)
+                ws.release(tmp)
+            else:
+                dxm = ws.acquire((n, c, ho * wo), dy.dtype)
+                np.matmul(w2t, dym, out=dxm)
+                dx = dxm.reshape(n, c, h, wd)
+        return dx, dw, db
+
+    if kind == "cols6":
+        # The forward gather is reused: dw is a pure batched GEMM against
+        # the saved column tensor (the pool keeps it alive until the
+        # autograd layer calls release_ctx after this returns).
+        cols6 = saved
+        ho, wo = dy.shape[2], dy.shape[3]
+        dym = dy.reshape(n, k, ho * wo)
+        cols3 = cols6.reshape(n, c * r * s, ho * wo)
+        dwn = ws.acquire((n, k, c * r * s), dy.dtype)
+        np.matmul(dym, cols3.transpose(0, 2, 1), out=dwn)
+        dw = dwn.sum(axis=0).reshape(k, c, r, s)
+        ws.release(dwn)
+        db = dy.sum(axis=(0, 2, 3)) if need_db else None
+        dx = None
+        if need_dx:
+            if stride == 1 and r > padding and s > padding:
+                dx = _tconv_dx(dy, w, x_shape, padding)
+            else:
+                dx = _dx_scatter(dy, w, x_shape, stride, padding)
+        return dx, dw, db
+
+    # -- seed im2col lowering ---------------------------------------------
+    cols = saved
     # dy: (N, K, Ho, Wo) -> (N*Ho*Wo, K)
     dy_mat = np.ascontiguousarray(dy.transpose(0, 2, 3, 1)).reshape(-1, k)
     dw = (dy_mat.T @ cols).reshape(k, c, r, s)
@@ -134,3 +284,86 @@ def conv2d_backward(dy: np.ndarray, cols: np.ndarray,
         else:
             dx = col2im(dcols, x_shape, r, s, stride, padding)
     return dx, dw, db
+
+
+def _tconv_dx(dy: np.ndarray, w: np.ndarray,
+              x_shape: Tuple[int, int, int, int], padding: int) -> np.ndarray:
+    """Input gradient for unit stride: transposed convolution via the same
+    gather-once batched-GEMM lowering as the forward pass.
+
+    ``dx = conv(pad(dy, R-1-p), flip(w))`` — the exact adjoint of the
+    forward correlation.  The windows of the padded ``dy`` are gathered into
+    a pooled column tensor and contracted with the flipped filters in one
+    batched GEMM whose output lands directly in the (pooled) ``dx``.  Every
+    staging buffer is pooled: an einsum formulation of the same contraction
+    measures faster in isolation but allocates a multi-megabyte internal
+    temporary per call, which loses badly once the whole training step is
+    competing for cache.  Requires ``padding < R`` (true for every conv in
+    the repo's model zoo); callers fall back to :func:`_dx_scatter`
+    otherwise.
+    """
+    n, c, h, wd = x_shape
+    k, _, r, s = w.shape
+    ho, wo = dy.shape[2], dy.shape[3]
+    pr, ps = r - 1 - padding, s - 1 - padding
+    if pr or ps:
+        dyp = ws.acquire((n, k, ho + 2 * pr, wo + 2 * ps), dy.dtype)
+        dyp[:, :, :pr, :] = 0
+        dyp[:, :, ho + pr:, :] = 0
+        dyp[:, :, pr:ho + pr, :ps] = 0
+        dyp[:, :, pr:ho + pr, wo + ps:] = 0
+        dyp[:, :, pr:ho + pr, ps:wo + ps] = dy
+    else:
+        dyp = dy
+    dyw = sliding_window_view(dyp, (r, s), axis=(2, 3))
+    dyc6 = ws.acquire((n, k, r, s, h, wd), dy.dtype)
+    np.copyto(dyc6, dyw.transpose(0, 1, 4, 5, 2, 3))
+    if pr or ps:
+        ws.release(dyp)
+    # (C, K*R*S): flipped filters with the contraction axis flattened.
+    wf = np.ascontiguousarray(
+        w[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)).reshape(c, k * r * s)
+    dx = ws.acquire((n, c, h, wd), dy.dtype)
+    np.matmul(wf, dyc6.reshape(n, k * r * s, h * wd),
+              out=dx.reshape(n, c, h * wd))
+    ws.release(dyc6)
+    return dx
+
+
+def _dx_scatter(dy: np.ndarray, w: np.ndarray,
+                x_shape: Tuple[int, int, int, int], stride: int,
+                padding: int) -> np.ndarray:
+    """Input gradient: per-patch gradients then RS strided scatter-add.
+
+    Returns a view into a pooled padded buffer when padding > 0; the caller
+    releases it (``workspace.release`` resolves views to their base).
+    """
+    n, c, h, wd = x_shape
+    k, _, r, s = w.shape
+    ho, wo = dy.shape[2], dy.shape[3]
+    hp, wp = h + 2 * padding, wd + 2 * padding
+    # Per-patch gradients in one batched GEMM: (C*R*S, K) x (N, K, Ho*Wo).
+    dcols = ws.acquire((n, c * r * s, ho * wo), dy.dtype)
+    np.matmul(w.reshape(k, c * r * s).T, dy.reshape(n, k, ho * wo),
+              out=dcols)
+    d6 = dcols.reshape(n, c, r, s, ho, wo)
+    dxp = ws.acquire((n, c, hp, wp), dy.dtype, zero=True)
+    for ri in range(r):
+        h_end = ri + stride * ho
+        for si in range(s):
+            w_end = si + stride * wo
+            dxp[:, :, ri:h_end:stride, si:w_end:stride] += d6[:, :, ri, si]
+    ws.release(dcols)
+    if padding > 0:
+        return dxp[:, :, padding:padding + h, padding:padding + wd]
+    return dxp
+
+
+def release_ctx(ctx: Optional[tuple]) -> None:
+    """Return a forward context's staging buffer to the workspace pool.
+
+    Safe to call unconditionally: contexts that hold plain input views or
+    unpooled column matrices are ignored by the pool.
+    """
+    if ctx is not None:
+        ws.release(ctx[1])

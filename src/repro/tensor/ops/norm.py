@@ -1,11 +1,28 @@
-"""Batch normalization kernels.
+"""Batch normalization kernels (optionally fused with ReLU).
 
 Batch normalization is the paper's canonical *memory-bandwidth-bound* layer:
 it reads its input several times (mean, variance, normalize) at trivial
 arithmetic intensity, which is why PruneTrain's channel pruning cuts BN
 memory traffic roughly in proportion to channel count (Sec. 5.1, Fig. 8 "BN
-cost").  The kernels below use the standard two-pass formulation and the
-fused backward expression from Ioffe & Szegedy.
+cost").
+
+The optimized formulation here exploits that both passes are affine in the
+input *per channel*:
+
+- forward: ``y = x * a[c] + b[c]`` with ``a = gamma/std`` and
+  ``b = beta - mu * a`` — two full-size passes instead of the textbook four,
+  and no materialized ``xhat``;
+- backward: ``dx = g * c1[c] + x * c2[c] + c0[c]`` where the three channel
+  vectors fold the Ioffe & Szegedy fused expression (``dgamma`` is likewise
+  recovered from ``sum(g*x)`` without ever forming ``xhat``).
+
+When ``relu=True`` the ReLU is applied in place on the BN output and its
+backward mask is recovered from the output sign, so the fused layer saves a
+full activation allocation, a bool mask, and an extra graph node.
+
+With ``workspace.config.fused_bnrelu`` disabled the seed engine's xhat-cache
+formulation runs instead (kept for honest before/after benchmarking); both
+cache formats are handled transparently by the backward kernels.
 """
 
 from __future__ import annotations
@@ -14,25 +31,35 @@ from typing import Tuple
 
 import numpy as np
 
+from .. import workspace as ws
+from ..workspace import config
+
+
+def _batch_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean and (biased) variance over (N, H, W)."""
+    n, c, h, w = x.shape
+    m = n * h * w
+    x3 = x.reshape(n, c, h * w)
+    mu = x3.mean(axis=(0, 2))
+    # single-pass variance: E[x^2] - E[x]^2 (one einsum, no temporaries)
+    ex2 = np.einsum("ncp,ncp->c", x3, x3) / m
+    var = np.maximum(ex2 - mu * mu, 0.0)
+    return mu, var
+
 
 def batchnorm_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
                       running_mean: np.ndarray, running_var: np.ndarray,
-                      momentum: float, eps: float, training: bool
-                      ) -> Tuple[np.ndarray, tuple]:
+                      momentum: float, eps: float, training: bool,
+                      relu: bool = False) -> Tuple[np.ndarray, tuple]:
     """BatchNorm over (N, H, W) for each channel of an ``(N, C, H, W)`` input.
 
-    Running statistics are updated **in place** during training (in-place
-    updates per the optimization guide — no reallocation per step).
-    Returns ``(y, cache)``.
+    Running statistics are updated **in place** during training (no
+    reallocation per step).  With ``relu=True`` the output is rectified in
+    place (fused BN+ReLU).  Returns ``(y, cache)``; the cache is opaque and
+    consumed by :func:`batchnorm_backward` / :func:`batchnorm_eval_backward`.
     """
     if training:
-        m = x.shape[0] * x.shape[2] * x.shape[3]
-        mu = x.mean(axis=(0, 2, 3))
-        # single-pass variance: E[x^2] - E[x]^2 (one einsum, no temporaries)
-        ex2 = np.einsum("nchw,nchw->c", x, x,
-                        dtype=np.float64 if x.dtype == np.float64
-                        else np.float32) / m
-        var = np.maximum(ex2 - mu * mu, 0.0)
+        mu, var = _batch_stats(x)
         running_mean *= 1.0 - momentum
         running_mean += momentum * mu
         running_var *= 1.0 - momentum
@@ -40,19 +67,84 @@ def batchnorm_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
     else:
         mu, var = running_mean, running_var
     inv_std = 1.0 / np.sqrt(var + eps)
-    # fused affine: y = x * a + b with a = gamma*inv_std, per channel
-    xhat = x * inv_std[None, :, None, None]
-    xhat -= (mu * inv_std)[None, :, None, None]
-    y = xhat * gamma[None, :, None, None]
-    y += beta[None, :, None, None]
-    cache = (xhat, gamma, inv_std)
+
+    if not relu and not config.fused_bnrelu:
+        # Seed engine formulation (xhat materialized, four passes).
+        xhat = x * inv_std[None, :, None, None]
+        xhat -= (mu * inv_std)[None, :, None, None]
+        y = xhat * gamma[None, :, None, None]
+        y += beta[None, :, None, None]
+        return y, ("xhat", xhat, gamma, inv_std)
+
+    # Affine-folded formulation: y = x*a + b in two passes, no xhat.
+    a = gamma * inv_std
+    b = beta - mu * a
+    y = x * a[None, :, None, None]
+    y += b[None, :, None, None]
+    if relu:
+        np.maximum(y, 0, out=y)
+    cache = ("coef", x, y if relu else None, gamma, mu, inv_std, relu)
     return y, cache
+
+
+def _coef_backward(dy: np.ndarray, cache: tuple, training: bool
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared backward for the affine-folded cache."""
+    _, x, y, gamma, mu, inv_std, relu = cache
+    n, c, h, w = dy.shape
+    m = n * h * w
+    if relu:
+        # Fused ReLU mask recovered from the rectified output's sign.
+        g = dy * (y > 0)
+        g_owned = True
+    else:
+        g = dy
+        g_owned = False
+    # Channel reductions over flattened (N, C, H*W) views: the merged inner
+    # axis gives NumPy long contiguous inner loops (H and W alone are tiny
+    # at the late stages of a CIFAR net).
+    g3 = g.reshape(n, c, h * w)
+    dbeta = g3.sum(axis=(0, 2))
+    sgx = np.einsum("ncp,ncp->c", g3, x.reshape(n, c, h * w))
+    # dgamma = sum(g * xhat) = inv_std * (sum(g*x) - mu * sum(g))
+    dgamma = (sgx - mu * dbeta) * inv_std
+    c1 = (gamma * inv_std).astype(dy.dtype, copy=False)
+    if training:
+        # dx = (c1/m) * (m*g - dbeta - xhat*dgamma), folded per channel:
+        c2 = (-(c1 * inv_std * dgamma) / m).astype(dy.dtype, copy=False)
+        c0 = (-(c1 * dbeta) / m - c2 * mu).astype(dy.dtype, copy=False)
+        dx = ws.acquire(dy.shape, dy.dtype)
+        np.multiply(x, c2[None, :, None, None], out=dx)
+        if g_owned:
+            g *= c1[None, :, None, None]
+            dx += g
+        else:
+            scratch = ws.acquire(dy.shape, dy.dtype)
+            np.multiply(g, c1[None, :, None, None], out=scratch)
+            dx += scratch
+            ws.release(scratch)
+        dx += c0[None, :, None, None]
+    else:
+        # Running statistics were constants: dx = g * gamma * inv_std.
+        if g_owned:
+            g *= c1[None, :, None, None]
+            dx = g
+        else:
+            dx = ws.acquire(dy.shape, dy.dtype)
+            np.multiply(g, c1[None, :, None, None], out=dx)
+    return dx, dgamma, dbeta
 
 
 def batchnorm_backward(dy: np.ndarray, cache: tuple
                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Returns ``(dx, dgamma, dbeta)`` (training-mode statistics)."""
-    xhat, gamma, inv_std = cache
+    """Returns ``(dx, dgamma, dbeta)`` (training-mode statistics).
+
+    ``dx`` may be a pooled buffer — consume it synchronously and release it
+    via ``workspace.release`` (a no-op for unpooled arrays).
+    """
+    if cache[0] == "coef":
+        return _coef_backward(dy, cache, training=True)
+    _, xhat, gamma, inv_std = cache
     n, c, h, w = dy.shape
     m = n * h * w
     dgamma = (dy * xhat).sum(axis=(0, 2, 3))
@@ -69,7 +161,9 @@ def batchnorm_backward(dy: np.ndarray, cache: tuple
 def batchnorm_eval_backward(dy: np.ndarray, cache: tuple
                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Backward when forward used running statistics (rarely needed)."""
-    xhat, gamma, inv_std = cache
+    if cache[0] == "coef":
+        return _coef_backward(dy, cache, training=False)
+    _, xhat, gamma, inv_std = cache
     dgamma = (dy * xhat).sum(axis=(0, 2, 3))
     dbeta = dy.sum(axis=(0, 2, 3))
     dx = dy * (gamma * inv_std)[None, :, None, None]

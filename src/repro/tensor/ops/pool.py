@@ -5,6 +5,11 @@ used by every model in the paper (VGG 2x2/2, ResNet stem 3x3/2 is replaced by
 stride-2 convolutions in the CIFAR variants; the ImageNet stem uses a 2x2/2
 approximation — see ``repro.nn.resnet``).  Non-overlapping windows let both
 passes be pure reshapes, the fastest possible NumPy formulation.
+
+Backward-pass gradient buffers are drawn from the
+:mod:`repro.tensor.workspace` pool: they are consumed synchronously by
+``Tensor._accumulate`` and released by the autograd layer right after, so
+every iteration reuses the previous iteration's allocations.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from .. import workspace as ws
 
 
 def maxpool2d_forward(x: np.ndarray, k: int
@@ -41,11 +48,13 @@ def maxpool2d_backward(dy: np.ndarray, mask: np.ndarray, k: int,
                        x_shape: Tuple[int, int, int, int]) -> np.ndarray:
     n, c, h, w = x_shape
     ho, wo = dy.shape[2], dy.shape[3]
-    dblocks = mask * dy[:, :, :, None, :, None]
+    dblocks = ws.acquire((n, c, ho, k, wo, k), dy.dtype)
+    np.multiply(mask, dy[:, :, :, None, :, None], out=dblocks)
     dx = dblocks.reshape(n, c, ho * k, wo * k)
     if dx.shape[2] != h or dx.shape[3] != w:
-        full = np.zeros(x_shape, dtype=dy.dtype)
+        full = ws.acquire(x_shape, dy.dtype, zero=True)
         full[:, :, : dx.shape[2], : dx.shape[3]] = dx
+        ws.release(dblocks)
         return full
     return dx
 
@@ -61,10 +70,15 @@ def avgpool2d_forward(x: np.ndarray, k: int) -> np.ndarray:
 def avgpool2d_backward(dy: np.ndarray, k: int,
                        x_shape: Tuple[int, int, int, int]) -> np.ndarray:
     n, c, h, w = x_shape
-    g = np.repeat(np.repeat(dy, k, axis=2), k, axis=3) / (k * k)
+    ho, wo = dy.shape[2], dy.shape[3]
+    g6 = ws.acquire((n, c, ho, k, wo, k), dy.dtype)
+    g6[:] = dy[:, :, :, None, :, None]
+    g6 *= 1.0 / (k * k)
+    g = g6.reshape(n, c, ho * k, wo * k)
     if g.shape[2] != h or g.shape[3] != w:
-        full = np.zeros(x_shape, dtype=dy.dtype)
+        full = ws.acquire(x_shape, dy.dtype, zero=True)
         full[:, :, : g.shape[2], : g.shape[3]] = g
+        ws.release(g6)
         return full
     return g
 
@@ -77,4 +91,7 @@ def global_avgpool_forward(x: np.ndarray) -> np.ndarray:
 def global_avgpool_backward(dy: np.ndarray,
                             x_shape: Tuple[int, int, int, int]) -> np.ndarray:
     n, c, h, w = x_shape
-    return np.broadcast_to(dy[:, :, None, None] / (h * w), x_shape).copy()
+    out = ws.acquire(x_shape, dy.dtype)
+    out[:] = dy[:, :, None, None]
+    out *= 1.0 / (h * w)
+    return out

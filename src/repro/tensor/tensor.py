@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from .workspace import release as _pool_release
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 #: Global autograd switch.  ``no_grad()`` flips this off so inference and
@@ -140,7 +142,14 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        """Add ``grad`` into ``self.grad`` (allocating on first use).
+
+        Ownership contract: this method never retains a reference to
+        ``grad`` — it either copies it (first touch) or ``+=``-reduces it
+        into an array it already owns.  Backward kernels may therefore hand
+        in workspace-pool buffers and release them immediately after this
+        call returns (see :mod:`repro.tensor.workspace`).
+        """
         if not self.requires_grad:
             return
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
@@ -151,6 +160,26 @@ class Tensor:
             self.grad = grad.copy()
         else:
             self.grad += grad
+
+    def _accumulate_donated(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad``, taking ownership instead of copying.
+
+        The caller *donates* the array: it must match ``self.data`` in shape
+        and dtype exactly, must not alias any other live gradient, and must
+        not be used by the caller afterwards.  On first touch the array
+        itself becomes ``self.grad`` — a workspace-pool buffer stays lent
+        and is returned to the pool when :meth:`backward` drops the interior
+        gradient — so the kernels' gradient outputs reach the graph with
+        zero copies.  On later touches it is reduced in place and released
+        back to the pool (a no-op for unpooled arrays).
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
+            _pool_release(grad)
 
     # ------------------------------------------------------------------
     # backward pass
@@ -184,10 +213,13 @@ class Tensor:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
                 # Free interior gradients/graph promptly: parameters are
-                # leaves (no _backward), their grads survive.
+                # leaves (no _backward), their grads survive.  Donated
+                # pool buffers (see _accumulate_donated) go back to the
+                # workspace here — release is a no-op for plain arrays.
                 node._backward = None
                 node._parents = ()
                 if node is not self:
+                    _pool_release(node.grad)
                     node.grad = None
 
     def zero_grad(self) -> None:

@@ -1,0 +1,210 @@
+"""Process-wide workspace buffer pool and engine configuration.
+
+PruneTrain's training loop is shape-stationary *between* reconfigurations:
+every iteration runs the same convolutions at the same shapes, so the im2col
+padded-input staging, col2im scatter scratch, and gradient buffers requested
+on iteration ``i`` are requested again — identically — on iteration ``i+1``.
+The :class:`WorkspacePool` exploits this by recycling buffers keyed by
+``(shape, dtype)`` instead of allocating fresh arrays in every kernel call,
+which converts the engine's hot path from allocator-bound to compute-bound.
+
+At a *reconfiguration* the stationarity assumption breaks on purpose: channel
+surgery (``repro.prune.reconfigure``) changes every activation shape in the
+model, which is exactly the paper's "dense reconfiguration" moment (Sec. 4.2).
+The surgery therefore calls :func:`invalidate` so the pool drops all cached
+buffers; the next iteration re-populates it at the new (smaller) shapes.
+
+Ownership contract
+------------------
+``acquire`` hands out a buffer and records it as *lent*; ``release`` returns
+it to the free list.  Kernels that produce results consumed synchronously
+(gradients fed straight into ``Tensor._accumulate``) release their buffers in
+the autograd closure right after the accumulate; buffers that must survive
+from forward to backward (the padded conv input) are released by the backward
+closure itself.  ``release`` is a no-op for arrays the pool does not own, so
+callers never need to track provenance.  Under ``no_grad`` the functional
+layer releases forward staging immediately.
+
+The module also hosts the :class:`EngineConfig` switchboard (``config``):
+each optimization introduced by the performance overhaul — buffer pooling,
+fused BN+ReLU, the einsum convolution kernels — can be disabled to recover
+the seed engine's exact execution path, which is how ``benchmarks/perf``
+measures honest before/after numbers in the same process.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    val = os.environ.get(name)
+    if val is None:
+        return default
+    return val.strip().lower() not in ("0", "false", "no", "off")
+
+
+@dataclass
+class EngineConfig:
+    """Feature switches for the optimized engine.
+
+    All default to on; flip off (or set ``REPRO_WORKSPACE=0`` /
+    ``REPRO_FUSED=0`` before import) to run the seed-equivalent path.
+    """
+
+    #: serve kernel scratch from the workspace pool instead of fresh allocs
+    pooling: bool = True
+    #: fuse BatchNorm->ReLU into one kernel at BN call sites that allow it
+    fused_bnrelu: bool = True
+    #: convolution lowering: "einsum" (direct contraction over the
+    #: sliding-window view) or "im2col" (seed column-matrix + GEMM)
+    conv_impl: str = "einsum"
+
+
+config = EngineConfig(
+    pooling=_env_flag("REPRO_WORKSPACE", True),
+    fused_bnrelu=_env_flag("REPRO_FUSED", True),
+    conv_impl=os.environ.get("REPRO_CONV_IMPL", "einsum"),
+)
+
+
+@contextmanager
+def baseline_engine():
+    """Temporarily run with every optimization off (the seed engine path)."""
+    saved = (config.pooling, config.fused_bnrelu, config.conv_impl)
+    config.pooling, config.fused_bnrelu, config.conv_impl = \
+        False, False, "im2col"
+    try:
+        yield
+    finally:
+        config.pooling, config.fused_bnrelu, config.conv_impl = saved
+
+
+@dataclass
+class PoolStats:
+    """Allocation accounting (feeds the op profiler's bytes counters)."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_reused: int = 0
+    bytes_allocated: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.bytes_reused = self.bytes_allocated = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "bytes_reused": self.bytes_reused,
+                "bytes_allocated": self.bytes_allocated,
+                "invalidations": self.invalidations}
+
+
+class WorkspacePool:
+    """Shape/dtype-keyed free-list buffer pool.
+
+    Not thread-safe by design: the engine is single-threaded Python driving
+    multi-threaded BLAS, and all acquire/release pairs happen on the driver
+    thread.
+    """
+
+    def __init__(self, max_per_key: int = 8):
+        self.max_per_key = max_per_key
+        self._free: Dict[Tuple[tuple, object], List[np.ndarray]] = {}
+        self._lent: Dict[int, np.ndarray] = {}
+        self.stats = PoolStats()
+
+    # -- core API ----------------------------------------------------------
+    def acquire(self, shape: tuple, dtype=np.float32,
+                zero: bool = False) -> np.ndarray:
+        """Get a buffer of ``shape``/``dtype`` (contents arbitrary unless
+        ``zero``).  With pooling disabled this is a plain allocation."""
+        dtype = np.dtype(dtype)
+        if not config.pooling:
+            return np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        key = (tuple(shape), dtype)
+        free = self._free.get(key)
+        if free:
+            buf = free.pop()
+            self.stats.hits += 1
+            self.stats.bytes_reused += buf.nbytes
+            if zero:
+                buf.fill(0)
+        else:
+            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            self.stats.misses += 1
+            self.stats.bytes_allocated += buf.nbytes
+        self._lent[id(buf)] = buf
+        return buf
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return a buffer (or a view into one) to the pool.
+
+        No-op for arrays the pool never lent — callers may release
+        unconditionally.
+        """
+        if arr is None or not config.pooling:
+            return
+        base = arr if arr.base is None else arr.base
+        buf = self._lent.pop(id(base), None)
+        if buf is None:
+            return
+        key = (buf.shape, buf.dtype)
+        free = self._free.setdefault(key, [])
+        if len(free) < self.max_per_key:
+            free.append(buf)
+
+    def clear(self) -> None:
+        """Drop every cached and lent buffer (pruning reconfiguration)."""
+        self._free.clear()
+        self._lent.clear()
+        self.stats.invalidations += 1
+
+    def owns(self, arr: np.ndarray) -> bool:
+        """Whether ``arr`` (or its base) is currently lent out by this pool."""
+        if arr is None:
+            return False
+        base = arr if arr.base is None else arr.base
+        return id(base) in self._lent
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def lent_count(self) -> int:
+        return len(self._lent)
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(b.nbytes for bufs in self._free.values() for b in bufs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkspacePool(keys={len(self._free)}, "
+                f"cached={self.cached_bytes / 1e6:.1f}MB, "
+                f"lent={self.lent_count}, hits={self.stats.hits}, "
+                f"misses={self.stats.misses})")
+
+
+#: The process-wide pool every kernel draws from.
+POOL = WorkspacePool()
+
+
+def acquire(shape: tuple, dtype=np.float32, zero: bool = False) -> np.ndarray:
+    """Module-level alias for ``POOL.acquire``."""
+    return POOL.acquire(shape, dtype, zero)
+
+
+def release(arr) -> None:
+    """Module-level alias for ``POOL.release`` (safe on foreign arrays)."""
+    POOL.release(arr)
+
+
+def invalidate() -> None:
+    """Drop all pooled buffers; called on pruning reconfiguration, when the
+    model's activation shapes change wholesale."""
+    POOL.clear()

@@ -38,6 +38,9 @@ class EpochRecord:
     channel_sparsity: float = 0.0
     removed_layers: int = 0
     wall_time: float = 0.0
+    #: measured per-op wall time / bytes for this epoch (only populated when
+    #: the trainer runs with ``profile=True``; see :mod:`repro.profiler`)
+    op_profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass

@@ -22,6 +22,7 @@ from ..data import Augmenter, DataLoader, Dataset
 from ..distributed import data_parallel_step
 from ..nn.module import Module
 from ..optim import SGD, LRSchedule, StepLR, milestones_for
+from ..profiler import PROFILER
 from ..prune.sparsity import model_channel_sparsity
 from ..tensor import Tensor, no_grad
 from ..tensor import functional as F
@@ -56,6 +57,10 @@ class TrainerConfig:
     seed: int = 0
     device_names: tuple = ("1080ti", "v100")
     log_every: int = 0             # epochs between stdout lines (0 = silent)
+    #: measure per-op wall time / bytes each epoch (:mod:`repro.profiler`)
+    #: and attach the summary to every :class:`EpochRecord`.  Off by default:
+    #: disabled profiling costs one attribute check per op.
+    profile: bool = False
 
 
 class Trainer:
@@ -120,7 +125,11 @@ class Trainer:
         """Run the full training loop; returns the populated :class:`RunLog`."""
         self.on_run_start()
         first_batch = True
+        if self.cfg.profile:
+            PROFILER.enable(reset=True)
         for epoch in range(self.cfg.epochs):
+            if self.cfg.profile:
+                PROFILER.reset()
             t0 = time.perf_counter()
             self.model.train()
             base_lr = self.schedule.lr_at(epoch)
@@ -146,12 +155,16 @@ class Trainer:
             rec = self._make_record(epoch, float(np.mean(losses)),
                                     float(np.mean(accs)), comm_epoch)
             rec.wall_time = time.perf_counter() - t0
+            if self.cfg.profile:
+                rec.op_profile = PROFILER.summary()
             self.log.append(rec)
             if self.cfg.log_every and (epoch % self.cfg.log_every == 0):
                 print(f"[{self.method_name}] ep{epoch:3d} "
                       f"loss {rec.train_loss:.3f} val {rec.val_acc:.3f} "
                       f"infF {rec.inference_flops/1e6:.2f}M "
                       f"batch {rec.batch_size}")
+        if self.cfg.profile:
+            PROFILER.disable()
         return self.log
 
     def evaluate(self) -> float:

@@ -1,0 +1,179 @@
+"""Workspace pool: ownership contract, reconfiguration invalidation, and
+numerical equivalence of the pooled engine with the seed engine.
+
+The acceptance-critical test here trains, runs a full pruning
+reconfiguration (which changes every activation shape in the model), and
+trains again — once with pooling on and once with pooling off — and
+requires bit-comparable parameters.  A stale pooled buffer surviving the
+reconfiguration would surface as a shape error or a numerical divergence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import resnet20
+from repro.optim import SGD
+from repro.prune import prune_and_reconfigure
+from repro.tensor import Tensor, workspace
+from repro.tensor import functional as F
+from repro.tensor.workspace import WorkspacePool, baseline_engine
+
+from ..conftest import sparsify_space
+
+
+@pytest.fixture(autouse=True)
+def optimized_config():
+    """Pin the optimized engine (pooling on) regardless of REPRO_* env."""
+    cfg = workspace.config
+    saved = (cfg.pooling, cfg.fused_bnrelu, cfg.conv_impl)
+    cfg.pooling, cfg.fused_bnrelu, cfg.conv_impl = True, True, "einsum"
+    workspace.invalidate()
+    workspace.POOL.stats.reset()
+    yield
+    workspace.invalidate()
+    cfg.pooling, cfg.fused_bnrelu, cfg.conv_impl = saved
+
+
+class TestPoolMechanics:
+    def test_acquire_release_roundtrip(self):
+        pool = WorkspacePool()
+        a = pool.acquire((4, 5), np.float32)
+        assert a.shape == (4, 5) and a.dtype == np.float32
+        assert pool.owns(a) and pool.lent_count == 1
+        pool.release(a)
+        assert not pool.owns(a) and pool.lent_count == 0
+        b = pool.acquire((4, 5), np.float32)
+        assert b is a, "released buffer must be recycled"
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+    def test_release_resolves_views(self):
+        pool = WorkspacePool()
+        a = pool.acquire((4, 6), np.float32)
+        pool.release(a[:, 1:5])
+        assert pool.lent_count == 0
+
+    def test_release_foreign_array_is_noop(self):
+        pool = WorkspacePool()
+        pool.release(np.zeros(3, dtype=np.float32))
+        assert pool.lent_count == 0 and not pool._free
+
+    def test_dtype_and_shape_keys_are_distinct(self):
+        pool = WorkspacePool()
+        a = pool.acquire((3, 3), np.float32)
+        pool.release(a)
+        b = pool.acquire((3, 3), np.float64)
+        assert b is not a and b.dtype == np.float64
+        c = pool.acquire((9,), np.float32)
+        assert c is not a
+
+    def test_zero_flag(self):
+        pool = WorkspacePool()
+        a = pool.acquire((8,), np.float32)
+        a[:] = 7
+        pool.release(a)
+        b = pool.acquire((8,), np.float32, zero=True)
+        assert b is a and (b == 0).all()
+
+    def test_clear_drops_everything(self):
+        pool = WorkspacePool()
+        a = pool.acquire((2, 2))
+        pool.release(pool.acquire((3, 3)))
+        pool.clear()
+        assert pool.lent_count == 0 and pool.cached_bytes == 0
+        assert not pool.owns(a)
+        assert pool.stats.invalidations == 1
+
+    def test_pooling_disabled_bypasses_pool(self):
+        with baseline_engine():
+            a = workspace.acquire((4, 4))
+            assert not workspace.POOL.owns(a)
+            workspace.release(a)  # must be a silent no-op
+
+
+def _sparsify_all(model, frac=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    g = model.graph
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < frac
+        kill[0] = False
+        sparsify_space(g, sid, kill)
+
+
+def _train_reconfigure_train(pooled: bool, steps: int = 3):
+    """Train -> prune_and_reconfigure -> train; return final parameters."""
+
+    def body():
+        rng = np.random.default_rng(3)
+        model = resnet20(num_classes=6, width_mult=0.25, input_hw=8, seed=1)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9,
+                  weight_decay=1e-4)
+        xb = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        yb = rng.integers(0, 6, size=8)
+
+        def step():
+            logits = model(Tensor(xb))
+            loss = F.cross_entropy(logits, yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+
+        for _ in range(steps):
+            step()
+        _sparsify_all(model)
+        prune_and_reconfigure(model, opt)
+        for _ in range(steps):
+            step()
+        return [p.data.copy() for p in model.parameters()]
+
+    if pooled:
+        return body()
+    with baseline_engine():
+        return body()
+
+
+class TestReconfigurationInvalidation:
+    def test_surgery_invalidates_pool(self):
+        model = resnet20(num_classes=6, width_mult=0.25, input_hw=8, seed=1)
+        x = Tensor(np.random.default_rng(0)
+                   .normal(size=(4, 3, 8, 8)).astype(np.float32))
+        loss = F.cross_entropy(model(x), np.array([0, 1, 2, 3]))
+        loss.backward()
+        assert workspace.POOL.cached_bytes > 0
+        before = workspace.POOL.stats.invalidations
+        _sparsify_all(model)
+        prune_and_reconfigure(model)
+        assert workspace.POOL.stats.invalidations == before + 1
+        assert workspace.POOL.cached_bytes == 0
+        assert workspace.POOL.lent_count == 0
+
+    def test_train_reconfigure_train_matches_unpooled(self):
+        """The pooled engine must track the seed copy-semantics engine
+        through a full reconfiguration, parameter for parameter.
+
+        Pooling and gradient donation change buffer reuse, not math, so the
+        only tolerated differences are float32 reduction-order rounding from
+        the different conv lowerings.
+        """
+        pooled = _train_reconfigure_train(pooled=True)
+        unpooled = _train_reconfigure_train(pooled=False)
+        assert len(pooled) == len(unpooled)
+        for a, b in zip(pooled, unpooled):
+            assert a.shape == b.shape
+            np.testing.assert_allclose(a, b, rtol=2e-3, atol=2e-5)
+
+    def test_no_buffers_leak_across_steps(self):
+        """Interior gradients and staging all return to the pool each step."""
+        rng = np.random.default_rng(5)
+        model = resnet20(num_classes=6, width_mult=0.25, input_hw=8, seed=1)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        xb = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        yb = rng.integers(0, 6, size=4)
+        for _ in range(3):
+            logits = model(Tensor(xb))
+            loss = F.cross_entropy(logits, yb)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            assert workspace.POOL.lent_count == 0

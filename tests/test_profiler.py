@@ -1,0 +1,111 @@
+"""Op profiler: opt-in semantics, counter correctness, trainer wiring.
+
+The profiler must be strictly opt-in — disabled, the instrumented ops pay
+one attribute check and record nothing — and when enabled it must attribute
+wall time and bytes to the engine's kernels and surface in each epoch's
+log record via ``TrainerConfig(profile=True)``.
+"""
+
+import numpy as np
+
+from repro.data import make_synthetic
+from repro.nn import resnet20
+from repro.profiler import PROFILER, OpProfiler
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.train import Trainer, TrainerConfig
+
+
+def _one_forward_backward(rng):
+    x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32),
+               requires_grad=True)
+    w = Tensor(rng.normal(size=(4, 3, 3, 3)).astype(np.float32),
+               requires_grad=True)
+    y = F.conv2d(x, w, None, stride=1, padding=1)
+    y.backward(np.ones(y.shape, dtype=np.float32))
+
+
+class TestOptIn:
+    def test_disabled_by_default_records_nothing(self, rng):
+        PROFILER.disable()
+        PROFILER.reset()
+        _one_forward_backward(rng)
+        assert PROFILER.summary().get("conv2d_fwd") is None
+        assert PROFILER.total_seconds() == 0.0
+
+    def test_session_scopes_enablement(self, rng):
+        with PROFILER.session():
+            _one_forward_backward(rng)
+            stats = PROFILER.summary()
+        assert stats["conv2d_fwd"]["calls"] == 1
+        assert stats["conv2d_bwd"]["calls"] == 1
+        assert stats["conv2d_fwd"]["seconds"] > 0
+        assert stats["conv2d_fwd"]["bytes"] > 0
+        assert not PROFILER.enabled
+        _one_forward_backward(rng)  # must not record after the session
+        assert PROFILER.summary()["conv2d_fwd"]["calls"] == 1
+        PROFILER.reset()
+
+    def test_summary_includes_workspace_counters(self, rng):
+        with PROFILER.session():
+            _one_forward_backward(rng)
+            stats = PROFILER.summary()
+        assert "_workspace" in stats
+        assert stats["_workspace"]["hits"] >= 0
+        PROFILER.reset()
+
+
+class TestCounters:
+    def test_add_aggregates(self):
+        p = OpProfiler()
+        p.enable()
+        p.add("op", 0.25, 100)
+        p.add("op", 0.75, 300)
+        st = p.summary()["op"]
+        assert st["calls"] == 2
+        assert st["seconds"] == 1.0
+        assert st["bytes"] == 400
+        assert p.total_seconds() == 1.0
+
+    def test_op_context_manager(self):
+        p = OpProfiler()
+        with p.op("noop"):  # disabled: records nothing
+            pass
+        assert "noop" not in p.summary()
+        p.enable()
+        with p.op("noop", 42):
+            pass
+        assert p.summary()["noop"]["calls"] == 1
+
+    def test_report_renders_table(self):
+        p = OpProfiler()
+        p.enable()
+        p.add("conv", 0.002, 1000)
+        text = p.report()
+        assert "conv" in text and "calls" in text
+
+
+class TestTrainerWiring:
+    def test_profile_flag_snapshots_each_epoch(self):
+        train = make_synthetic(4, 32, hw=8, noise=0.8, seed=0, name="t")
+        val = make_synthetic(4, 16, hw=8, noise=0.8, seed=1, name="v")
+        model = resnet20(4, width_mult=0.25, input_hw=8)
+        tr = Trainer(model, train, val,
+                     TrainerConfig(epochs=2, batch_size=16, augment=False,
+                                   log_every=0, profile=True))
+        log = tr.train()
+        assert not PROFILER.enabled, "trainer must disable on exit"
+        for rec in log.records:
+            assert rec.op_profile, "profile missing from epoch record"
+            assert rec.op_profile["conv2d_fwd"]["calls"] > 0
+            assert rec.op_profile["conv2d_bwd"]["seconds"] > 0
+
+    def test_profile_off_leaves_records_empty(self):
+        train = make_synthetic(4, 32, hw=8, noise=0.8, seed=0, name="t")
+        val = make_synthetic(4, 16, hw=8, noise=0.8, seed=1, name="v")
+        model = resnet20(4, width_mult=0.25, input_hw=8)
+        tr = Trainer(model, train, val,
+                     TrainerConfig(epochs=1, batch_size=16, augment=False,
+                                   log_every=0))
+        log = tr.train()
+        assert log.records[0].op_profile == {}
