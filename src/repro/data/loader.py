@@ -46,6 +46,26 @@ class DataLoader:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = int(batch_size)
 
+    # -- exact-resume state (checkpoint format v2) -------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the loader's mutable run state.
+
+        Captures the batch size, the epoch counter, and the **full RNG
+        stream state** (``bit_generator.state``).  The same generator drives
+        both shuffling and the :class:`~repro.data.augment.Augmenter`, so
+        restoring it makes a resumed run consume the identical
+        shuffle/augmentation stream an uninterrupted run would have.
+        """
+        return {"batch_size": self.batch_size,
+                "epoch": self._epoch,
+                "rng_state": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.set_batch_size(int(state["batch_size"]))
+        self._epoch = int(state["epoch"])
+        self._rng.bit_generator.state = state["rng_state"]
+
     def batches_per_epoch(self) -> int:
         n = len(self.dataset)
         if self.drop_last:

@@ -26,7 +26,7 @@ def run(scale: Scale, ratio: float = 0.25) -> Dict:
     key, log = runs.prunetrain(MODEL, DATASET, ratio=ratio, need_model=True)
     model = runs.model_for(key)
     trainer = runs.trainer_for(key)
-    rep = density_report(model.graph, threshold=trainer.cfg.threshold)
+    rep = density_report(model.graph, threshold=trainer.threshold)
     return {
         "layers": rep.layer_names,
         "channel_density": rep.channel_density,

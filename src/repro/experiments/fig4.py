@@ -27,7 +27,7 @@ def run(scale: Scale, ratio: float = 0.25) -> Dict:
                                track_convs=TRACKED, zero_sparse=False,
                                need_model=True)
     trainer = runs.trainer_for(key)
-    threshold = trainer.cfg.threshold
+    threshold = trainer.threshold
     out: Dict = {"threshold": threshold, "matrices": {}, "revivals": {},
                  "final_acc": log.final_val_acc}
     for name in TRACKED:

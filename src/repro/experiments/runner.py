@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from ..costmodel import MemoryModel, iteration_memory_bytes
 from ..distributed import DynamicBatchAdjuster
+from ..io.checkpoint import latest_checkpoint, read_meta
 from ..train import (AMCLikeConfig, AMCLikePruner, OneTimeConfig,
                      OneTimeTrainer, PruneTrainConfig, PruneTrainTrainer,
                      RunLog, SSLConfig, SSLTrainer, Trainer, TrainerConfig)
@@ -30,17 +31,64 @@ DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(os.path.dirname(
 
 
 class Runs:
-    """Run factory + cache for one experiment scale."""
+    """Run factory + cache for one experiment scale.
+
+    With ``checkpoint_every > 0``, every training run writes periodic
+    crash-recovery checkpoints (format v2, atomic) into a per-run
+    subdirectory of ``checkpoint_dir`` and **auto-resumes** from the latest
+    one, so an interrupted benchmark sweep picks up where it died instead of
+    retraining from scratch.  Retention keeps the newest
+    ``checkpoint_keep`` checkpoints per run.
+    """
 
     def __init__(self, scale: Scale, cache_dir: Optional[str] = None,
-                 use_disk_cache: bool = True):
+                 use_disk_cache: bool = True,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 0,
+                 checkpoint_keep: int = 3):
         self.scale = scale
         self.cache_dir = cache_dir or DEFAULT_CACHE_DIR
         self.use_disk_cache = use_disk_cache
+        self.checkpoint_dir = checkpoint_dir or os.path.join(
+            self.cache_dir, "checkpoints")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
         self._logs: Dict[str, RunLog] = {}
         self._models: Dict[str, object] = {}
         self._trainers: Dict[str, object] = {}
         self._datasets: Dict[str, tuple] = {}
+
+    def _attach_checkpointing(self, cfg, key: str) -> None:
+        """Point a trainer config at this run's checkpoint subdirectory."""
+        if not self.checkpoint_every:
+            return
+        cfg.checkpoint_every = self.checkpoint_every
+        cfg.checkpoint_dir = os.path.join(self.checkpoint_dir, key)
+        cfg.checkpoint_keep = self.checkpoint_keep
+
+    def _train_with_resume(self, trainer, key: str) -> RunLog:
+        """Run training, auto-resuming from the newest run checkpoint.
+
+        A checkpoint that fails to restore (e.g. written by an incompatible
+        older code version) is not fatal — the run restarts from scratch.
+        Partially written files are never seen here: writes are atomic and
+        ``latest_checkpoint`` ignores leftover ``*.tmp.npz`` files.
+        """
+        resume = None
+        if self.checkpoint_every:
+            resume = latest_checkpoint(
+                os.path.join(self.checkpoint_dir, key))
+        if resume is not None:
+            # Pre-flight *before* touching the trainer: a checkpoint that
+            # doesn't parse or lacks run state must not leave the trainer
+            # half-restored when we fall back to a fresh run.
+            try:
+                ok = "train_state" in read_meta(resume)
+            except Exception:
+                ok = False
+            if ok:
+                return trainer.train(resume_from=resume)
+        return trainer.train()
 
     # -- plumbing ------------------------------------------------------------
     def dataset(self, name: str):
@@ -100,8 +148,9 @@ class Runs:
         model = make_model(model_name, dataset, self.scale,
                            seed=self.scale.seed)
         cfg = TrainerConfig(**self._base_cfg_kwargs(dataset))
+        self._attach_checkpointing(cfg, key)
         tr = Trainer(model, train, val, cfg)
-        log = tr.train()
+        log = self._train_with_resume(tr, key)
         self._finish(key, log, model, tr)
         return key, log
 
@@ -158,10 +207,11 @@ class Runs:
                 MemoryModel(capacity_bytes=cap),
                 granularity=max(8, self.scale.batch_size // 4),
                 max_batch=min(512, self.scale.n_train // 2))
+        self._attach_checkpointing(cfg, key)
         tr = PruneTrainTrainer(model, train, val, cfg,
                                batch_adjuster=adjuster,
                                track_convs=track_convs)
-        log = tr.train()
+        log = self._train_with_resume(tr, key)
         self._finish(key, log, model, tr)
         return key, log
 
@@ -213,8 +263,9 @@ class Runs:
                             penalty_ratio=ratio,
                             threshold=None, lambda_mode="rate",
                             zero_sparse=True, reconfig_epoch=reconfig_epoch)
+        self._attach_checkpointing(cfg, key)
         tr = OneTimeTrainer(model, train, val, cfg)
-        log = tr.train()
+        log = self._train_with_resume(tr, key)
         self._finish(key, log, model, tr)
         return key, log
 

@@ -1,5 +1,9 @@
 """Persistence: checkpoints that survive dynamic reconfiguration."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (FORMAT_VERSION, checkpoint_path, latest_checkpoint,
+                         load_checkpoint, prune_old_checkpoints, read_meta,
+                         restore_checkpoint, save_checkpoint)
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_checkpoint",
+           "latest_checkpoint", "checkpoint_path", "prune_old_checkpoints",
+           "read_meta", "FORMAT_VERSION"]

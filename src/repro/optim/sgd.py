@@ -47,6 +47,28 @@ class SGD:
         """Momentum buffer of ``param`` (None until first step)."""
         return self._velocity.get(id(param))
 
+    def sync_params(self, params: Iterable[Parameter]) -> None:
+        """Replace the parameter list and purge state of departed params.
+
+        Network reconfiguration (layer removal) drops parameters from the
+        model; their ``_velocity``/``_scratch`` entries must go with them.
+        Both dicts are keyed by ``id(param)``, so a stale entry is not just a
+        leak: once the dead parameter is garbage-collected its id can be
+        recycled by a *new* parameter, silently attaching the dead
+        parameter's momentum to it.  Purging here is safe against that
+        hazard because the old parameter objects are still alive (referenced
+        by the previous ``self.params`` list) until this method returns, so
+        live and stale ids cannot collide.
+        """
+        params = list(params)
+        if not params:
+            raise ValueError("no parameters to optimize")
+        live = {id(p) for p in params}
+        for state in (self._velocity, self._scratch):
+            for pid in [k for k in state if k not in live]:
+                del state[pid]
+        self.params = params
+
     def set_state_for(self, param: Parameter, buf: np.ndarray) -> None:
         """Replace a momentum buffer (used by pruning surgery)."""
         if buf.shape != param.data.shape:

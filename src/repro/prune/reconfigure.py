@@ -158,7 +158,11 @@ def prune_and_reconfigure(model: Module, optimizer=None,
 
     graph.validate()
     if optimizer is not None:
-        optimizer.params = list(model.parameters())
+        # Refresh the parameter list *and* drop momentum/scratch state of
+        # parameters that layer removal took out of the model (stale
+        # id-keyed entries would leak and could be mis-attached to a new
+        # parameter if the id is recycled).
+        optimizer.sync_params(model.parameters())
 
     report.params_after = model.num_parameters()
     report.channels_after = sum(

@@ -42,3 +42,13 @@ class OneTimeTrainer(PruneTrainTrainer):
         if not self._reconfigured and (epoch + 1) == self.cfg.reconfig_epoch:
             self._reconfigure(epoch)
             self._reconfigured = True
+
+    # -- exact-resume state (checkpoint format v2) --------------------------
+    def _extra_state(self):
+        state = super()._extra_state()
+        state["reconfigured"] = self._reconfigured
+        return state
+
+    def _restore_extra(self, train_state, arrays):
+        super()._restore_extra(train_state, arrays)
+        self._reconfigured = bool(train_state.get("reconfigured", False))

@@ -17,7 +17,7 @@ Training proceeds like the dense baseline, plus:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -99,6 +99,21 @@ class PruneTrainTrainer(Trainer):
         self.tracker = ChannelTracker(model.graph, track_convs) \
             if track_convs else None
         self.reports: List[PruneReport] = []
+        #: threshold derived at λ-setup time when ``cfg.threshold`` is None.
+        #: Kept on the trainer — not written back into the config — so a
+        #: :class:`PruneTrainConfig` reused across runs (sweep presets)
+        #: never carries one run's derived threshold into the next.
+        self._derived_threshold: Optional[float] = None
+
+    @property
+    def threshold(self) -> float:
+        """Effective pruning threshold: explicit config value, else the
+        value derived on the first batch, else the paper default."""
+        if self.cfg.threshold is not None:
+            return self.cfg.threshold
+        if self._derived_threshold is not None:
+            return self._derived_threshold
+        return DEFAULT_THRESHOLD
 
     # -- Algorithm 1 hooks ---------------------------------------------------
     def on_first_batch(self, cls_loss: float) -> None:
@@ -112,7 +127,7 @@ class PruneTrainTrainer(Trainer):
             raise ValueError(f"unknown lambda_mode "
                              f"{self.cfg.lambda_mode!r}")
         if self.cfg.threshold is None:
-            self.cfg.threshold = max(
+            self._derived_threshold = max(
                 DEFAULT_THRESHOLD,
                 self.cfg.threshold_floor_mult * self.cfg.lr * self.lasso.lam)
 
@@ -161,7 +176,7 @@ class PruneTrainTrainer(Trainer):
                     self.tracker.note_reconfigure(name, masks[node.out_space])
 
         report = prune_and_reconfigure(
-            self.model, self.optimizer, self.cfg.threshold,
+            self.model, self.optimizer, self.threshold,
             remove_layers=self.cfg.remove_layers,
             zero_sparse=self.cfg.zero_sparse, on_masks=on_masks)
         self.reports.append(report)
@@ -179,3 +194,47 @@ class PruneTrainTrainer(Trainer):
         rec.reg_loss = self.lasso.loss()
         rec.lam = self.lasso.lam or 0.0
         return rec
+
+    # -- exact-resume state (checkpoint format v2) --------------------------
+    def _extra_state(self):
+        state = {
+            "lam": self.lasso.lam,
+            "derived_threshold": self._derived_threshold,
+            "reports": [self._report_to_dict(r) for r in self.reports],
+        }
+        if self.tracker is not None:
+            state["tracker"] = {"orig_k": dict(self.tracker._orig_k)}
+        return state
+
+    def _extra_arrays(self):
+        arrays = {}
+        if self.tracker is not None:
+            for name in self.tracker.conv_names:
+                arrays[f"tracker/history/{name}"] = self.tracker.matrix(name)
+                arrays[f"tracker/alive/{name}"] = \
+                    self.tracker._alive_idx[name]
+        return arrays
+
+    def _restore_extra(self, train_state, arrays):
+        self.lasso.lam = train_state["lam"]
+        self._derived_threshold = train_state["derived_threshold"]
+        self.reports = [self._report_from_dict(d)
+                        for d in train_state["reports"]]
+        if self.tracker is not None and "tracker" in train_state:
+            for name in self.tracker.conv_names:
+                hist = arrays[f"tracker/history/{name}"]
+                self.tracker.history[name] = [row.copy() for row in hist]
+                self.tracker._alive_idx[name] = np.asarray(
+                    arrays[f"tracker/alive/{name}"], dtype=np.int64)
+
+    @staticmethod
+    def _report_to_dict(report: PruneReport) -> dict:
+        d = asdict(report)
+        d["space_sizes"] = {str(k): v for k, v in d["space_sizes"].items()}
+        return d
+
+    @staticmethod
+    def _report_from_dict(d: dict) -> PruneReport:
+        d = dict(d)
+        d["space_sizes"] = {int(k): v for k, v in d["space_sizes"].items()}
+        return PruneReport(**d)

@@ -98,7 +98,7 @@ class SSLTrainer:
 
         # Final one-shot prune for the inference model.
         report = prune_and_reconfigure(self.model, phase2.optimizer,
-                                       self.cfg.threshold,
+                                       phase2.threshold,
                                        remove_layers=self.cfg.remove_layers)
         log.notes["final_pruned_params"] = report.params_after
         # refresh the last record's inference FLOPs to the pruned model

@@ -20,6 +20,8 @@ from ..costmodel import (DEVICES, bn_traffic_bytes, epoch_comm_bytes,
                          training_flops_per_sample)
 from ..data import Augmenter, DataLoader, Dataset
 from ..distributed import data_parallel_step
+from ..io.checkpoint import (checkpoint_path, prune_old_checkpoints,
+                             restore_checkpoint, save_checkpoint)
 from ..nn.module import Module
 from ..optim import SGD, LRSchedule, StepLR, milestones_for
 from ..profiler import PROFILER
@@ -61,6 +63,15 @@ class TrainerConfig:
     #: and attach the summary to every :class:`EpochRecord`.  Off by default:
     #: disabled profiling costs one attribute check per op.
     profile: bool = False
+    #: epochs between periodic run checkpoints (0 = no checkpointing).
+    #: Requires ``checkpoint_dir``.  Checkpoints capture the *full* run
+    #: state (format v2) so a killed run resumes bit-exactly via
+    #: ``Trainer.train(resume_from=...)``.
+    checkpoint_every: int = 0
+    #: directory for periodic checkpoints (``ckpt-ep<NNNNN>.npz``)
+    checkpoint_dir: Optional[str] = None
+    #: retain only the newest N periodic checkpoints (0 = keep all)
+    checkpoint_keep: int = 3
 
 
 class Trainer:
@@ -91,6 +102,10 @@ class Trainer:
                           method=self.method_name)
         self.log.notes["train_size"] = len(train_set)
         self._cum_flops = 0.0
+        #: whether ``on_first_batch`` already fired (λ/threshold derivation
+        #: happens exactly once per *run*, so a resumed run must not re-run
+        #: it on its first post-resume batch)
+        self._first_batch_done = False
 
     # -- hooks (overridden by subclasses) -----------------------------------
     def on_run_start(self) -> None:
@@ -121,13 +136,24 @@ class Trainer:
         res, _ = data_parallel_step(self.model, xb, yb, self.cfg.workers)
         return res.loss, res.accuracy, res.comm_bytes_per_worker
 
-    def train(self) -> RunLog:
-        """Run the full training loop; returns the populated :class:`RunLog`."""
-        self.on_run_start()
-        first_batch = True
+    def train(self, resume_from: Optional[str] = None) -> RunLog:
+        """Run the full training loop; returns the populated :class:`RunLog`.
+
+        ``resume_from`` names a format-v2 checkpoint written by this
+        trainer's configuration (see ``TrainerConfig.checkpoint_every`` /
+        :meth:`save_run_checkpoint`): the run picks up at the epoch after
+        the checkpoint and — because the checkpoint captures the loader RNG
+        stream, optimizer momentum, LR scaling, and all pruning-run state —
+        reproduces the uninterrupted run's trajectory bit-exactly.
+        """
+        if resume_from is not None:
+            start_epoch = self.resume(resume_from)
+        else:
+            start_epoch = 0
+            self.on_run_start()
         if self.cfg.profile:
             PROFILER.enable(reset=True)
-        for epoch in range(self.cfg.epochs):
+        for epoch in range(start_epoch, self.cfg.epochs):
             if self.cfg.profile:
                 PROFILER.reset()
             t0 = time.perf_counter()
@@ -142,9 +168,9 @@ class Trainer:
                     loss, acc, comm = self._step_parallel(xb, yb)
                 else:
                     loss, acc, comm = self._step_single(xb, yb)
-                if first_batch:
+                if not self._first_batch_done:
                     self.on_first_batch(loss)
-                    first_batch = False
+                    self._first_batch_done = True
                 reg = self.post_backward()
                 self.optimizer.step()
                 losses.append(loss)
@@ -152,12 +178,19 @@ class Trainer:
                 comm_epoch += comm
                 self._cum_flops += flops_per_sample * len(yb)
             self.on_epoch_end(epoch)
+            # Snapshot the profiler *before* evaluation (inside
+            # ``_make_record``) so the per-epoch op profile covers the
+            # training phase only — evaluation + BN recalibration would
+            # otherwise inflate the counts.
+            if self.cfg.profile:
+                train_profile = PROFILER.summary()
             rec = self._make_record(epoch, float(np.mean(losses)),
                                     float(np.mean(accs)), comm_epoch)
             rec.wall_time = time.perf_counter() - t0
             if self.cfg.profile:
-                rec.op_profile = PROFILER.summary()
+                rec.op_profile = train_profile
             self.log.append(rec)
+            self._maybe_checkpoint(epoch)
             if self.cfg.log_every and (epoch % self.cfg.log_every == 0):
                 print(f"[{self.method_name}] ep{epoch:3d} "
                       f"loss {rec.train_loss:.3f} val {rec.val_acc:.3f} "
@@ -167,8 +200,86 @@ class Trainer:
             PROFILER.disable()
         return self.log
 
+    # -- exact-resume checkpointing (format v2) -----------------------------
+    def _train_state(self, epoch: int) -> Dict:
+        """Full JSON-serializable run state after completed epoch ``epoch``.
+
+        Everything a resumed run needs to be bit-exact: loader RNG stream
+        and batch size (which also drives augmentation), the dynamic LR
+        scale, the epoch counter (= LR-schedule position), cumulative
+        FLOPs, the RunLog so far, and whatever subclasses add via
+        :meth:`_extra_state` (λ, derived threshold, tracker history, ...).
+        """
+        state = {
+            "epoch": epoch,
+            "first_batch_done": self._first_batch_done,
+            "lr_scale": self.lr_scale,
+            "cum_flops": self._cum_flops,
+            "loader": self.loader.state_dict(),
+            "run_log": self.log.to_dict(),
+        }
+        state.update(self._extra_state())
+        return state
+
+    def _extra_state(self) -> Dict:
+        """Subclass hook: additional JSON-serializable run state."""
+        return {}
+
+    def _extra_arrays(self) -> Dict[str, np.ndarray]:
+        """Subclass hook: additional ndarray run state (tracker history...)."""
+        return {}
+
+    def _restore_extra(self, train_state: Dict,
+                       arrays: Dict[str, np.ndarray]) -> None:
+        """Subclass hook: restore what the two capture hooks produced."""
+
+    def save_run_checkpoint(self, path: str, epoch: int) -> None:
+        """Atomically write a full-run checkpoint (after epoch ``epoch``)."""
+        save_checkpoint(path, self.model, self.optimizer,
+                        train_state=self._train_state(epoch),
+                        arrays=self._extra_arrays())
+
+    def resume(self, path: str) -> int:
+        """Restore a run checkpoint in place; returns the next epoch index.
+
+        The trainer must have been constructed exactly as for the original
+        run (same model factory/seed, datasets, and config): the recorded
+        architecture is replayed onto the fresh model, then all weights,
+        momentum, RNG streams, and run counters are restored.
+        """
+        meta, arrays = restore_checkpoint(path, self.model, self.optimizer)
+        state = meta.get("train_state")
+        if state is None:
+            raise ValueError(
+                f"checkpoint {path!r} has no training state (format v1?); "
+                "exact resume needs a checkpoint written by "
+                "Trainer.save_run_checkpoint")
+        self._first_batch_done = bool(state["first_batch_done"])
+        self.lr_scale = float(state["lr_scale"])
+        self._cum_flops = float(state["cum_flops"])
+        self.loader.load_state_dict(state["loader"])
+        self.log = RunLog.from_dict(state["run_log"])
+        self._restore_extra(state, arrays)
+        return int(state["epoch"]) + 1
+
+    def _maybe_checkpoint(self, epoch: int) -> None:
+        """Periodic checkpoint + retention per the config (no-op if off)."""
+        cfg = self.cfg
+        if not cfg.checkpoint_every or not cfg.checkpoint_dir:
+            return
+        if (epoch + 1) % cfg.checkpoint_every != 0:
+            return
+        self.save_run_checkpoint(
+            checkpoint_path(cfg.checkpoint_dir, epoch), epoch)
+        prune_old_checkpoints(cfg.checkpoint_dir, cfg.checkpoint_keep)
+
     def evaluate(self) -> float:
-        """Top-1 accuracy on the validation set (after BN recalibration)."""
+        """Top-1 accuracy on the validation set (after BN recalibration).
+
+        The model's train/eval mode is restored on exit — evaluating must
+        not flip a model that was in eval mode back into train mode.
+        """
+        was_training = self.model.training
         if self.cfg.bn_recal_batches > 0:
             from ..nn.bn_utils import recalibrate_bn
             bs = max(self.loader.batch_size, 64)
@@ -184,7 +295,7 @@ class Trainer:
                 yb = self.val_set.y[lo:lo + self.cfg.eval_batch]
                 logits = self.model(Tensor(xb))
                 correct += int((logits.data.argmax(1) == yb).sum())
-        self.model.train()
+        self.model.train(was_training)
         return correct / n
 
     # -- instrumentation ------------------------------------------------------

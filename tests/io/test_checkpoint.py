@@ -1,9 +1,13 @@
 """Checkpointing of dynamically reconfigured models."""
 
+import json
+import os
+
 import numpy as np
 import pytest
 
-from repro.io import load_checkpoint, save_checkpoint
+from repro.io import (latest_checkpoint, load_checkpoint, read_meta,
+                      restore_checkpoint, save_checkpoint)
 from repro.nn import resnet20, resnet50_cifar, vgg11
 from repro.optim import SGD
 from repro.prune import prune_and_reconfigure
@@ -97,6 +101,52 @@ class TestCheckpointRoundtrip:
                                                    input_hw=8),
                             with_optimizer=True)
 
+    def test_v1_checkpoint_still_loads(self, tmp_path, rng):
+        """Backward compat: a format-1 archive (weights + structure +
+        momentum only, written non-atomically by the old code) must load."""
+        m = resnet20(10, width_mult=0.25, input_hw=16, seed=3)
+        _sparsify(m)
+        prune_and_reconfigure(m)
+        # replicate the old v1 writer byte layout
+        arrays = {f"state/{n}": a for n, a in m.state_dict().items()}
+        meta = {
+            "format_version": 1,
+            "space_sizes": {str(sid): sp.size
+                            for sid, sp in m.graph.spaces.items()},
+            "inactive_paths": [p.name for p in m.graph.paths.values()
+                               if not getattr(p.block, "active", True)],
+            "extra": {"epoch": 7},
+        }
+        arrays["meta.json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        path = str(tmp_path / "v1.npz")
+        np.savez(path, **arrays)
+
+        m2, _, extra = load_checkpoint(
+            path, lambda: resnet20(10, width_mult=0.25, input_hw=16, seed=0))
+        assert extra == {"epoch": 7}
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        m.eval(), m2.eval()
+        with no_grad():
+            np.testing.assert_allclose(m(x).data, m2(x).data, rtol=1e-5,
+                                       atol=1e-6)
+        # v1 carries no run state: the resume path must see that
+        assert "train_state" not in read_meta(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        path = str(tmp_path / "weird.npz")
+        save_checkpoint(path, m)
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta.json"]).decode())
+        meta["format_version"] = 99
+        data["meta.json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="unsupported checkpoint"):
+            load_checkpoint(path, lambda: resnet20(10, width_mult=0.25,
+                                                   input_hw=8))
+
     def test_training_resumes_after_load(self, tmp_path, tiny_train):
         """A loaded pruned model must train further without errors."""
         from repro.tensor import functional as F
@@ -115,3 +165,88 @@ class TestCheckpointRoundtrip:
         loss.backward()
         opt2.step()
         m2.graph.validate()
+
+
+class TestAtomicWrites:
+    def test_no_temp_file_left_after_save(self, tmp_path):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        save_checkpoint(str(tmp_path / "ck.npz"), m)
+        assert sorted(f.name for f in tmp_path.iterdir()) == ["ck.npz"]
+
+    def test_crash_mid_write_preserves_previous_checkpoint(self, tmp_path,
+                                                           monkeypatch):
+        """A crash while serializing must leave the previous checkpoint
+        intact: only the temp file is partially written."""
+        path = str(tmp_path / "ck.npz")
+        m = resnet20(10, width_mult=0.25, input_hw=8, seed=1)
+        save_checkpoint(path, m, extra={"gen": 1})
+
+        m2 = resnet20(10, width_mult=0.25, input_hw=8, seed=2)
+        original_replace = os.replace
+
+        def crash(*a, **kw):
+            raise OSError("simulated crash before publish")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_checkpoint(path, m2, extra={"gen": 2})
+        monkeypatch.setattr(os, "replace", original_replace)
+
+        # previous checkpoint unharmed; the leftover is only the temp file
+        _, _, extra = load_checkpoint(
+            path, lambda: resnet20(10, width_mult=0.25, input_hw=8, seed=0))
+        assert extra == {"gen": 1}
+        leftovers = [f.name for f in tmp_path.iterdir() if f.name != "ck.npz"]
+        assert leftovers == ["ck.npz.tmp.npz"]
+
+        # a later save overwrites the stale temp file and succeeds
+        save_checkpoint(path, m2, extra={"gen": 2})
+        _, _, extra = load_checkpoint(
+            path, lambda: resnet20(10, width_mult=0.25, input_hw=8, seed=0))
+        assert extra == {"gen": 2}
+        assert sorted(f.name for f in tmp_path.iterdir()) == ["ck.npz"]
+
+    def test_latest_checkpoint_ignores_partial_temp_files(self, tmp_path):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        save_checkpoint(str(tmp_path / "ckpt-ep00003.npz"), m)
+        # a partial write a crash left behind, "newer" than the real one
+        (tmp_path / "ckpt-ep00009.npz.tmp.npz").write_bytes(b"partial")
+        assert latest_checkpoint(str(tmp_path)).endswith("ckpt-ep00003.npz")
+
+    def test_latest_checkpoint_missing_dir(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path / "nope")) is None
+
+
+class TestRestoreCheckpoint:
+    def test_restore_in_place_with_train_state(self, tmp_path, rng):
+        path = str(tmp_path / "ck.npz")
+        m = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=4)
+        _sparsify(m)
+        opt = SGD(m.parameters(), 0.1, momentum=0.9)
+        prune_and_reconfigure(m, opt)
+        state = {"epoch": 3, "lr_scale": 2.0,
+                 "loader": {"batch_size": 64}}
+        save_checkpoint(path, m, optimizer=opt, train_state=state,
+                        arrays={"tracker/history/c1": np.arange(6.0)})
+
+        m2 = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=9)
+        opt2 = SGD(m2.parameters(), 0.05, momentum=0.5)
+        meta, arrays = restore_checkpoint(path, m2, opt2)
+        assert meta["train_state"] == state
+        np.testing.assert_array_equal(arrays["tracker/history/c1"],
+                                      np.arange(6.0))
+        # optimizer hyperparameters + param list follow the checkpoint
+        assert opt2.lr == pytest.approx(0.1)
+        assert opt2.momentum == pytest.approx(0.9)
+        assert len(opt2.params) == len(m2.parameters())
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        m.eval(), m2.eval()
+        with no_grad():
+            np.testing.assert_allclose(m(x).data, m2(x).data, rtol=1e-5,
+                                       atol=1e-6)
+
+    def test_reserved_array_keys_rejected(self, tmp_path):
+        m = resnet20(10, width_mult=0.25, input_hw=8)
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint(str(tmp_path / "ck.npz"), m,
+                            arrays={"state/x": np.zeros(2)})

@@ -95,6 +95,39 @@ class TestSGD:
         with pytest.raises(ValueError):
             SGD([], lr=0.1)
 
+    def test_sync_params_purges_stale_state(self):
+        """When a layer is removed its parameters leave the optimizer; the
+        momentum/scratch entries keyed by their ids must go too, or a new
+        parameter allocated at a recycled id inherits a foreign buffer."""
+        keep, drop = make_param(n=4), make_param(n=4)
+        opt = SGD([keep, drop], lr=1.0, momentum=0.9)
+        for p in (keep, drop):
+            p.grad = np.ones(4, dtype=np.float32)
+        opt.step()
+        assert opt.state_for(drop) is not None
+        stale_buf = opt.state_for(drop).copy()
+
+        opt.sync_params([keep])
+        assert opt.params == [keep]
+        assert opt.state_for(keep) is not None
+        assert opt.state_for(drop) is None
+        assert id(drop) not in opt._velocity
+        assert id(drop) not in opt._scratch
+
+        # a fresh param landing on the dropped id must start clean
+        del drop
+        fresh = make_param(0.0, n=4)
+        opt.sync_params([keep, fresh])
+        buf = opt.state_for(fresh)
+        assert buf is None or not np.array_equal(buf, stale_buf)
+
+    def test_sync_params_empty_raises(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.sync_params([])
+        assert opt.params == [p]
+
 
 class TestSchedules:
     def test_constant(self):

@@ -131,6 +131,22 @@ class TestSurgery:
         prune_and_reconfigure(m, opt)
         assert len(opt.params) == len(m.parameters())
 
+    def test_optimizer_state_of_removed_layers_purged(self):
+        """Layer removal must purge momentum/scratch entries of departed
+        parameters — stale id-keyed entries leak and can be inherited by a
+        later parameter allocated at a recycled id."""
+        m = resnet50_cifar(10, **SMALL)
+        opt = SGD(m.parameters(), 0.1, momentum=0.9)
+        for p in opt.params:
+            p.grad = np.ones_like(p.data)
+        opt.step()  # populate velocity + scratch for every param
+        assert len(opt._velocity) == len(m.parameters())
+        m.graph.conv_by_name("s2b1.conv1").conv.weight.data[:] = 0.0
+        prune_and_reconfigure(m, opt)
+        live = {id(p) for p in m.parameters()}
+        assert set(opt._velocity) <= live
+        assert set(opt._scratch) <= live
+
     def test_idempotent_when_nothing_sparse(self):
         m = resnet20(10, **SMALL)
         before = m.num_parameters()

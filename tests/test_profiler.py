@@ -100,6 +100,26 @@ class TestTrainerWiring:
             assert rec.op_profile["conv2d_fwd"]["calls"] > 0
             assert rec.op_profile["conv2d_bwd"]["seconds"] > 0
 
+    def test_epoch_profile_excludes_eval_phase(self):
+        """Epoch records must profile the training phase only: the summary
+        is snapshotted before evaluation/BN recalibration runs."""
+        class MarkedEval(Trainer):
+            def evaluate(self):
+                if PROFILER.enabled:
+                    PROFILER.add("eval_marker", 0.001, 0)
+                return super().evaluate()
+
+        train = make_synthetic(4, 32, hw=8, noise=0.8, seed=0, name="t")
+        val = make_synthetic(4, 16, hw=8, noise=0.8, seed=1, name="v")
+        model = resnet20(4, width_mult=0.25, input_hw=8)
+        tr = MarkedEval(model, train, val,
+                        TrainerConfig(epochs=2, batch_size=16, augment=False,
+                                      log_every=0, profile=True))
+        log = tr.train()
+        for rec in log.records:
+            assert "eval_marker" not in rec.op_profile
+            assert rec.op_profile["conv2d_fwd"]["calls"] > 0
+
     def test_profile_off_leaves_records_empty(self):
         train = make_synthetic(4, 32, hw=8, noise=0.8, seed=0, name="t")
         val = make_synthetic(4, 16, hw=8, noise=0.8, seed=1, name="v")

@@ -79,6 +79,19 @@ class TestDenseTrainer:
         log = tr.train()
         assert log.records[-1].comm_bytes_epoch > 0
 
+    def test_evaluate_restores_model_mode(self, data):
+        """evaluate() must put the model back in whatever mode it found it
+        in — not force training mode on a model being used for inference."""
+        train, val = data
+        tr = Trainer(resnet20(10, width_mult=0.25, input_hw=8), train, val,
+                     TrainerConfig(**tiny_cfg(epochs=1)))
+        tr.model.eval()
+        tr.evaluate()
+        assert not tr.model.training
+        tr.model.train()
+        tr.evaluate()
+        assert tr.model.training
+
 
 class TestPruneTrainTrainer:
     def _trainer(self, data, **cfg_kw):
@@ -148,9 +161,30 @@ class TestPruneTrainTrainer:
                                reconfig_interval=0)
         tr = PruneTrainTrainer(model, train, val, cfg)
         tr.train()
-        assert tr.cfg.threshold >= 1e-4
-        assert tr.cfg.threshold == pytest.approx(
+        assert tr.threshold >= 1e-4
+        assert tr.threshold == pytest.approx(
             max(1e-4, 3.0 * cfg.lr * tr.lasso.lam))
+
+    def test_derived_threshold_does_not_mutate_config(self, data):
+        """Regression: the derived threshold used to be written back into
+        the (possibly shared) config, so a sweep preset reused across runs
+        silently carried run 1's derived value into run 2."""
+        train, val = data
+        cfg = PruneTrainConfig(**tiny_cfg(epochs=1), penalty_ratio=0.25,
+                               lambda_mode="rate", threshold=None,
+                               reconfig_interval=0)
+        tr1 = PruneTrainTrainer(resnet20(10, width_mult=0.25, input_hw=8),
+                                train, val, cfg)
+        tr1.train()
+        assert cfg.threshold is None
+        # a second run sharing the config must derive its own threshold
+        tr2 = PruneTrainTrainer(resnet20(10, width_mult=0.5, input_hw=8),
+                                train, val, cfg)
+        assert tr2._derived_threshold is None
+        tr2.train()
+        assert cfg.threshold is None
+        assert tr2.threshold == pytest.approx(
+            max(1e-4, 3.0 * cfg.lr * tr2.lasso.lam))
 
     def test_reconfigures_every_interval(self, data):
         tr = self._trainer(data)
