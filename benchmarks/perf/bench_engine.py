@@ -22,8 +22,11 @@ Run directly::
     PYTHONPATH=src python benchmarks/perf/bench_engine.py
 
 writes ``results/BENCH_engine.json`` with before/after milliseconds and
-speedups.  The perf smoke test (``test_perf_smoke.py``) runs a shortened
-version of the same harness.
+speedups, plus ``results/BENCH_compile.json`` comparing the eager
+define-by-run step against the compiled StepPlan replay
+(:mod:`repro.tensor.compile`) with *both* sides on the optimized engine.
+The perf smoke test (``test_perf_smoke.py``) runs a shortened version of
+the same harness.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ RESULTS_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
     "results")
 OUT_PATH = os.path.join(RESULTS_DIR, "BENCH_engine.json")
+OUT_PATH_COMPILE = os.path.join(RESULTS_DIR, "BENCH_compile.json")
 
 #: (name, n, c_in, hw, c_out, k, stride, pad) — the conv population of
 #: ResNet-32 at the QUICK scale (hw=12, width_mult=0.375) plus the 1x1
@@ -152,6 +156,103 @@ def _measure_interleaved(run_before: Callable[[], None],
             "speedup": round(before / after, 3)}
 
 
+def _measure_interleaved_same_engine(run_before: Callable[[], None],
+                                     run_after: Callable[[], None],
+                                     rounds: int, number: int, warmup: int = 1
+                                     ) -> Dict[str, float]:
+    """Interleaved A/B where both sides run the *current* engine config.
+
+    Used for the compiled-vs-eager comparison: wrapping the "before" side
+    in :func:`baseline_engine` (as :func:`_measure_interleaved` does) would
+    conflate the step-plan win with the kernel-level optimizations.
+    """
+    for _ in range(warmup):
+        run_before()
+    for _ in range(warmup):
+        run_after()
+    before = after = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            run_before()
+        before = min(before, (time.perf_counter() - t0) / number)
+        t0 = time.perf_counter()
+        for _ in range(number):
+            run_after()
+        after = min(after, (time.perf_counter() - t0) / number)
+    before *= 1e3
+    after *= 1e3
+    return {"before_ms": round(before, 4), "after_ms": round(after, 4),
+            "speedup": round(before / after, 3)}
+
+
+def _compiled_step_pair(rng) -> tuple:
+    """Eager vs compiled stepping of the acceptance workload.
+
+    Both sides run the optimized engine on their own model/optimizer twin
+    (identical seed), so the measured delta isolates capture/replay: no
+    graph construction, no closure allocation, preplanned buffers.
+    """
+    from repro.tensor.compile import capture_training_step
+
+    xb = rng.standard_normal((32, 3, 12, 12), dtype=np.float32)
+    yb = rng.integers(0, 10, size=32)
+
+    m_e = resnet32(num_classes=10, width_mult=0.375, input_hw=12, seed=0)
+    o_e = SGD(m_e.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+
+    def run_eager():
+        logits = m_e(Tensor(xb))
+        loss = F.cross_entropy(logits, yb)
+        o_e.zero_grad()
+        loss.backward()
+        o_e.step()
+
+    m_c = resnet32(num_classes=10, width_mult=0.375, input_hw=12, seed=0)
+    o_c = SGD(m_c.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+    o_c.zero_grad()
+    plan, loss_t, _, reason = capture_training_step(m_c, xb, yb)
+    if plan is None:
+        raise RuntimeError(f"step capture failed: {reason}")
+    loss_t.backward()
+    o_c.step()
+
+    def run_compiled():
+        o_c.zero_grad()
+        plan.run(xb, yb)
+        o_c.step()
+
+    return run_eager, run_compiled
+
+
+def run_compile_bench(step_warmup: int = 3, step_iters: int = 5,
+                      step_rounds: int = 8) -> dict:
+    """Compiled-vs-eager step A/B; returns the BENCH_compile.json payload."""
+    run_eager, run_compiled = _compiled_step_pair(np.random.default_rng(1))
+    step = _measure_interleaved_same_engine(
+        run_eager, run_compiled, step_rounds, step_iters, warmup=step_warmup)
+    workspace.invalidate()
+    return {
+        "meta": {
+            "workload": "resnet32 @ QUICK scale (hw=12, width_mult=0.375, "
+                        "batch=32)",
+            "before": "optimized engine, eager define-by-run step (graph "
+                      "built and torn down every batch)",
+            "after": "optimized engine, compiled StepPlan replay (flat "
+                     "kernel list, preplanned buffers, zero graph "
+                     "construction)",
+            "methodology": "interleaved A/B rounds, best-of-N per side "
+                           "(robust to shared-host noise); replay is "
+                           "bit-exact vs eager",
+        },
+        "micro": {},
+        "train_step": {
+            "warmup_steps": step_warmup, "steps_per_round": step_iters,
+            "rounds": step_rounds, **step,
+        },
+    }
+
+
 def _measure_pair(make_workload: Callable[[np.random.Generator],
                                           Callable[[], None]],
                   rounds: int, number: int) -> Dict[str, float]:
@@ -228,6 +329,13 @@ def main() -> None:
         print(f"{name:18s} {row['before_ms']:8.3f} -> {row['after_ms']:8.3f} "
               f"ms ({row['speedup']:.2f}x)")
     print(f"wrote {path}")
+
+    compile_results = run_compile_bench()
+    cpath = write_results(compile_results, OUT_PATH_COMPILE)
+    cstep = compile_results["train_step"]
+    print(f"compiled step: {cstep['before_ms']:.1f} ms (eager) -> "
+          f"{cstep['after_ms']:.1f} ms (replay) ({cstep['speedup']:.2f}x)")
+    print(f"wrote {cpath}")
 
 
 if __name__ == "__main__":

@@ -36,3 +36,24 @@ def test_engine_speedup_smoke():
 
     for name, row in written["micro"].items():
         assert row["before_ms"] > 0 and row["after_ms"] > 0, name
+
+
+def test_compiled_step_speedup_smoke():
+    """Compiled replay must never be slower than eager stepping.
+
+    The acceptance-grade bar (>= 1.15x, measured by the full bench run) is
+    asserted on the committed ``results/BENCH_compile.json``; at CI-smoke
+    repetition counts the guard is parity, same rationale as above.
+    """
+    results = bench_engine.run_compile_bench(step_warmup=2, step_iters=3,
+                                             step_rounds=5)
+    path = bench_engine.write_results(results,
+                                      bench_engine.OUT_PATH_COMPILE)
+    assert os.path.exists(path)
+    with open(path) as fh:
+        written = json.load(fh)
+
+    step = written["train_step"]
+    assert step["before_ms"] > 0 and step["after_ms"] > 0
+    assert step["speedup"] > 1.0, (
+        f"compiled step slower than eager: {step}")

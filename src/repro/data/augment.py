@@ -24,6 +24,10 @@ class Augmenter:
         self.flip = flip
         self.max_shift = max_shift
         self.noise_std = noise_std
+        #: reusable noise buffers (float64 draw + batch-dtype cast), sized
+        #: on first use and re-sized only when the batch shape/dtype changes
+        self._noise64: np.ndarray | None = None
+        self._noise_cast: np.ndarray | None = None
 
     def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         x = x.copy()
@@ -41,6 +45,23 @@ class Augmenter:
                 sel = (shifts[:, 0] == dy) & (shifts[:, 1] == dx)
                 x[sel] = np.roll(x[sel], (int(dy), int(dx)), axis=(2, 3))
         if self.noise_std > 0:
-            x += rng.normal(0.0, self.noise_std,
-                            size=x.shape).astype(x.dtype)
+            # Draw into reusable buffers instead of allocating a fresh
+            # full-batch float64 array plus a cast copy every call.
+            # ``std * standard_normal`` consumes the identical RNG stream
+            # as ``normal(0, std)`` and produces bit-identical values, and
+            # ``copyto(..., casting="unsafe")`` is exactly ``astype``, so
+            # resume bit-exactness is unaffected.
+            if self._noise64 is None or self._noise64.shape != x.shape:
+                self._noise64 = np.empty(x.shape, np.float64)
+            rng.standard_normal(out=self._noise64)
+            self._noise64 *= self.noise_std
+            if x.dtype == np.float64:
+                x += self._noise64
+            else:
+                if (self._noise_cast is None
+                        or self._noise_cast.shape != x.shape
+                        or self._noise_cast.dtype != x.dtype):
+                    self._noise_cast = np.empty(x.shape, x.dtype)
+                np.copyto(self._noise_cast, self._noise64, casting="unsafe")
+                x += self._noise_cast
         return x

@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, workspace
 
 
 class Parameter(Tensor):
@@ -127,3 +127,7 @@ class Module:
                 setattr(mod, key, arr.copy())
             else:
                 raise KeyError(f"unexpected state entry {name!r}")
+        # Parameter/buffer arrays were just reassigned: any compiled step
+        # plan holding references to the old arrays is now stale, even
+        # though every shape is unchanged (checkpoint restore).
+        workspace.invalidate_plans()

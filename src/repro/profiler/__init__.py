@@ -104,7 +104,7 @@ class OpProfiler:
 
     # -- reporting ---------------------------------------------------------
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-op stats plus workspace-pool counters, as plain dicts."""
+        """Per-op stats plus workspace-pool and step-plan counters."""
         out = {name: st.as_dict() for name, st in self._stats.items()}
         try:
             from ..tensor import workspace
@@ -115,6 +115,11 @@ class OpProfiler:
                 "bytes_allocated": workspace.POOL.stats.bytes_allocated,
                 "invalidations": workspace.POOL.stats.invalidations,
             }
+        except ImportError:  # pragma: no cover - circular-import guard
+            pass
+        try:
+            from ..tensor import compile as step_compile
+            out["_plans"] = step_compile.STATS.as_dict()
         except ImportError:  # pragma: no cover - circular-import guard
             pass
         return out

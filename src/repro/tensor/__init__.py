@@ -10,11 +10,14 @@ Public surface:
 - :mod:`repro.tensor.workspace` — the shape-keyed buffer pool the kernels
   draw scratch from, plus the engine-optimization switchboard
   (``workspace.config``, ``workspace.baseline_engine``).
+- :mod:`repro.tensor.compile` — compiled training steps: capture one eager
+  forward/backward as a flat kernel plan (:class:`~repro.tensor.compile.
+  StepPlan`) and replay it bit-exactly until the next reconfiguration.
 """
 
-from . import functional, workspace
+from . import compile, functional, workspace
 from .tensor import Tensor, grad_enabled, no_grad
 from .workspace import WorkspacePool, baseline_engine
 
-__all__ = ["Tensor", "no_grad", "grad_enabled", "functional",
+__all__ = ["Tensor", "no_grad", "grad_enabled", "compile", "functional",
            "workspace", "WorkspacePool", "baseline_engine"]

@@ -1,0 +1,1302 @@
+"""Compiled training step: capture the autograd tape once, replay a flat plan.
+
+PruneTrain's loop is shape-stationary between reconfigurations, so the
+define-by-run graph the engine rebuilds every iteration — ``Tensor._make``
+closures, parent tuples, a full topological sort per ``backward()`` — is
+identical step after step.  This module captures ONE eager step and turns it
+into a :class:`StepPlan`: a flat list of prebuilt kernel thunks (the CPU
+analogue of CUDA-graph capture) that replays with zero graph construction,
+zero closure allocation, and no per-step topo sort.
+
+Bit-exactness contract
+----------------------
+Replay must produce *bit-identical* results to the eager step, so every
+resume/equivalence guarantee in the repo survives with compilation on.  The
+plan therefore does not re-derive anything: it calls the **same kernels**
+(``repro.tensor.ops``) with the same arguments in the same order the eager
+engine would, and its gradient routing reproduces the eager accumulation
+semantics exactly —
+
+- the forward thunks run in recorded (= eager execution) order;
+- the backward thunks run in the order ``Tensor.backward`` would visit them
+  (reverse of the identical iterative DFS, captured at finalize time);
+- parameter gradients go through :func:`repro.tensor.functional._give_grad`
+  (the eager path itself), interior gradients mirror
+  ``Tensor._accumulate_donated`` / ``Tensor._accumulate`` — donate or
+  copy-on-first-touch, ``+=`` on later touches, pool release on consumption.
+
+Capture mechanics
+-----------------
+``Tape`` installs itself as ``repro.tensor.tensor._TAPE``; each functional
+op (and ``Tensor.__add__`` / ``reshape``) then appends an execution record.
+``Tensor.__init__`` reports every tensor created during capture, so an input
+produced by an *unhooked* op is recognized at finalize time and the capture
+fails closed — the trainer falls back to eager with a logged reason rather
+than baking a stale constant into the plan.
+
+Invalidation
+------------
+Plans record ``workspace.PLAN_GENERATION`` at capture.  The counter is
+bumped by ``workspace.invalidate()`` (pruning reconfiguration — the same
+moment the buffer pool drops its cached shapes) and by
+``Module.load_state_dict`` (checkpoint restore reassigns ``param.data``, so
+array references captured by a plan go stale).  Dynamic mini-batch growth
+needs no hook: the input shape is part of the trainer's plan-cache key, so a
+new batch size simply captures a new plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import workspace as ws
+from .ops import conv as _conv
+from .ops import loss as _loss
+from .ops import norm as _norm
+from .ops import pool as _pool
+from . import tensor as _tensor_mod
+from .tensor import Tensor, no_grad
+
+__all__ = ["Tape", "StepPlan", "PlanCache", "PlanStats", "STATS",
+           "capture_training_step", "capture_forward"]
+
+
+@dataclass
+class PlanStats:
+    """Process-wide capture/replay accounting (merged into the profiler)."""
+
+    captures: int = 0
+    capture_seconds: float = 0.0
+    replays: int = 0
+    replay_seconds: float = 0.0
+    fallbacks: int = 0
+    last_fallback_reason: str = ""
+
+    def reset(self) -> None:
+        self.captures = self.replays = self.fallbacks = 0
+        self.capture_seconds = self.replay_seconds = 0.0
+        self.last_fallback_reason = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"captures": self.captures,
+                "capture_seconds": self.capture_seconds,
+                "replays": self.replays,
+                "replay_seconds": self.replay_seconds,
+                "fallbacks": self.fallbacks,
+                "last_fallback_reason": self.last_fallback_reason}
+
+
+#: Process-wide plan statistics (``repro.profiler`` surfaces them as the
+#: ``_plans`` entry of ``PROFILER.summary()``).
+STATS = PlanStats()
+
+
+class _CaptureError(Exception):
+    """Raised by the plan builder when a recorded graph cannot be compiled."""
+
+
+class _Record:
+    """One captured op invocation (static arguments only — no step state)."""
+
+    __slots__ = ("kind", "inputs", "out", "attrs")
+
+    def __init__(self, kind: str, inputs: tuple, out: Tensor, attrs):
+        self.kind = kind
+        self.inputs = inputs
+        self.out = out
+        self.attrs = attrs
+
+
+class Tape:
+    """Records one eager step's op sequence for compilation into a plan.
+
+    Use as a context manager around the step's forward (+ loss) code; the
+    ops record themselves via the ``_TAPE`` hook.  Recording never changes
+    the computation — the captured step's own results are the eager
+    results, and the plan only takes effect on *subsequent* steps.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[_Record] = []
+        #: id(out tensor) -> value slot; also keyed for marked inputs
+        self.slot_of: Dict[int, int] = {}
+        self.rec_of: Dict[int, _Record] = {}
+        #: ids of every Tensor constructed during capture (fresh tensors
+        #: that are *not* recorded op outputs mark unsupported computation)
+        self._fresh: set = set()
+        #: keepalive so the id-keyed maps can never see a recycled id
+        self._keepalive: List[Tensor] = []
+        self._input_slots: List[int] = []
+        self._n_slots = 0
+        self.failed_reason: Optional[str] = None
+        self._active = False
+
+    # -- capture lifecycle -------------------------------------------------
+    def __enter__(self) -> "Tape":
+        if _tensor_mod._TAPE is not None:
+            raise RuntimeError("a capture tape is already active")
+        _tensor_mod._TAPE = self
+        self._active = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _tensor_mod._TAPE = None
+        self._active = False
+
+    def input(self, arr: np.ndarray) -> Tensor:
+        """Create the step's input tensor and assign it a dynamic slot."""
+        t = Tensor(arr)
+        slot = self._new_slot(t)
+        self._input_slots.append(slot)
+        return t
+
+    def saw_fresh(self, t: Tensor) -> None:
+        """Hook from ``Tensor.__init__``: track tensors born during capture."""
+        self._fresh.add(id(t))
+        self._keepalive.append(t)
+
+    def fail(self, reason: str) -> None:
+        if self.failed_reason is None:
+            self.failed_reason = reason
+
+    def record(self, kind: str, inputs: tuple, out: Tensor, attrs) -> None:
+        """Hook from the functional layer: append one op invocation.
+
+        Must never raise into the forward pass — any internal problem marks
+        the tape failed and the trainer falls back to eager.
+        """
+        try:
+            if kind == "conv2d":
+                # Fold the eager backward's need_dx decision in at capture
+                # time (parents' _backward fields are still intact here,
+                # and reverse-topological execution means they still are
+                # when the eager closure would evaluate the same test).
+                x, weight, bias = inputs
+                stride, padding, first_layer = attrs
+                need_dx = (x.requires_grad or x._backward is not None) \
+                    and not first_layer
+                attrs = (stride, padding, need_dx)
+            elif kind == "add":
+                a, b = inputs
+                if a.data.shape != b.data.shape or a.dtype != b.dtype:
+                    self.fail("add with broadcasting is not compilable")
+                    return
+            rec = _Record(kind, inputs, out, attrs)
+            self.records.append(rec)
+            slot = self._new_slot(out)
+            self.rec_of[id(out)] = rec
+        except Exception as e:  # pragma: no cover - defensive
+            self.fail(f"record error: {e!r}")
+
+    def _new_slot(self, t: Tensor) -> int:
+        slot = self._n_slots
+        self._n_slots += 1
+        self.slot_of[id(t)] = slot
+        self._keepalive.append(t)
+        return slot
+
+    # -- finalization ------------------------------------------------------
+    def finalize_training(self, loss: Tensor, logits: Tensor,
+                          targets: np.ndarray
+                          ) -> Tuple[Optional["StepPlan"], Optional[str]]:
+        """Compile a full train-step plan (forward + loss + backward).
+
+        Must run *after* the forward and loss are computed but *before*
+        ``loss.backward()`` — backward destroys the closures and parent
+        links this method walks to replicate the eager execution order.
+        Returns ``(plan, None)`` or ``(None, reason)``.
+        """
+        if self._active:
+            return None, "tape still active (exit the capture context first)"
+        if self.failed_reason is not None:
+            return None, self.failed_reason
+        if id(loss) not in self.slot_of or id(logits) not in self.slot_of:
+            return None, "loss/logits were not produced by recorded ops"
+        loss_rec = self.rec_of.get(id(loss))
+        if loss_rec is None or loss_rec.kind != "cross_entropy":
+            return None, "training plans require a cross_entropy loss"
+        if loss_rec.attrs is not targets:
+            return None, "loss does not consume the step's targets"
+        for rec in self.records:
+            if rec.kind == "cross_entropy" and rec is not loss_rec:
+                return None, "multiple cross_entropy ops in one step"
+
+        # Replicate Tensor.backward's iterative DFS exactly: the plan's
+        # backward program must visit nodes in the order the eager pass
+        # would, or multi-consumer gradient accumulation order (and with
+        # it bit-exactness) is lost.
+        topo: List[Tensor] = []
+        visited: set = set()
+        stack: List[Tuple[Tensor, bool]] = [(loss, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+        bwd_nodes = [n for n in reversed(topo) if n._backward is not None]
+        for n in bwd_nodes:
+            if id(n) not in self.slot_of:
+                return None, "graph contains an op without a capture hook"
+        try:
+            return self._build(kind="train", bwd_nodes=bwd_nodes,
+                               loss=loss, logits=logits), None
+        except _CaptureError as e:
+            return None, str(e)
+
+    def finalize_forward(self, logits: Tensor
+                         ) -> Tuple[Optional["StepPlan"], Optional[str]]:
+        """Compile a forward-only (inference) plan ending at ``logits``."""
+        if self._active:
+            return None, "tape still active (exit the capture context first)"
+        if self.failed_reason is not None:
+            return None, self.failed_reason
+        if id(logits) not in self.slot_of:
+            return None, "logits were not produced by recorded ops"
+        try:
+            return self._build(kind="forward", bwd_nodes=[],
+                               loss=None, logits=logits), None
+        except _CaptureError as e:
+            return None, str(e)
+
+    def _build(self, kind: str, bwd_nodes: List[Tensor],
+               loss: Optional[Tensor], logits: Tensor) -> "StepPlan":
+        if len(self._input_slots) != 1:
+            raise _CaptureError("exactly one marked input is required")
+        plan = StepPlan(kind=kind, n_slots=self._n_slots,
+                        input_slot=self._input_slots[0])
+        builder = _PlanBuilder(self, plan, keep_ctx=(kind == "train"))
+        pairs = {id(rec): builder.build(rec) for rec in self.records}
+        plan._fwd = [pairs[id(rec)][0] for rec in self.records]
+        plan._bwd = [pairs[id(self.rec_of[id(n)])][1] for n in bwd_nodes]
+        plan._logits_slot = self.slot_of[id(logits)]
+        plan._loss_slot = self.slot_of[id(loss)] if loss is not None else -1
+        plan._leaf_shapes = builder.leaf_shapes()
+        plan._n_ops = len(self.records)
+        return plan
+
+
+class _PlanBuilder:
+    """Compiles tape records into zero-argument forward/backward thunks.
+
+    Thunks close over the plan's preallocated ``values`` / ``grads`` /
+    ``ctxs`` lists, so replay is a straight-line sequence of kernel calls
+    with list indexing — no dict lookups, no Tensor objects, no closures
+    allocated per step.
+    """
+
+    def __init__(self, tape: Tape, plan: "StepPlan", keep_ctx: bool):
+        self.tape = tape
+        self.plan = plan
+        self.keep_ctx = keep_ctx
+        self.pooling = ws.config.pooling
+        self._leaves: Dict[int, Tensor] = {}
+
+    # -- input/output resolution ------------------------------------------
+    def _resolve(self, t: Tensor) -> Tuple[Optional[int], Optional[Tensor]]:
+        """Map an input tensor to ``(slot, None)`` or ``(None, leaf)``."""
+        slot = self.tape.slot_of.get(id(t))
+        if slot is not None:
+            return slot, None
+        if t._backward is not None or id(t) in self.tape._fresh:
+            # Produced during capture by an op with no hook: its value
+            # depends on the step input, so baking it in would be wrong.
+            raise _CaptureError("op input produced by an unrecorded op")
+        self._leaves[id(t)] = t
+        return None, t
+
+    def _reader(self, t: Tensor) -> Callable[[], np.ndarray]:
+        """Zero-arg callable yielding the input's *current* value."""
+        slot, leaf = self._resolve(t)
+        if slot is not None:
+            values = self.plan._values
+            return lambda: values[slot]
+        return lambda: leaf.data
+
+    def _leaf(self, t: Optional[Tensor]) -> Optional[Tensor]:
+        """Require a parameter-style input to be a graph leaf."""
+        if t is None:
+            return None
+        slot, leaf = self._resolve(t)
+        if slot is not None:
+            raise _CaptureError("parameter input is not a graph leaf")
+        return leaf
+
+    # -- gradient sinks (exact eager accumulation semantics) ---------------
+    def _sink_donate(self, t: Tensor) -> Callable[[np.ndarray], None]:
+        """Mirror ``functional._give_grad`` for a kernel-produced gradient."""
+        slot, leaf = self._resolve(t)
+        if slot is None:
+            from . import functional as F
+            return lambda arr: F._give_grad(leaf, arr)
+        grads = self.plan._grads
+        release = ws.release
+        if self.pooling:
+            # Interior node: _give_grad always donates (first touch keeps
+            # the array itself; later touches += and return it to the pool).
+            def sink(arr: np.ndarray) -> None:
+                g0 = grads[slot]
+                if g0 is None:
+                    grads[slot] = arr
+                else:
+                    g0 += arr
+                    release(arr)
+        else:
+            # Seed-engine semantics: copy on first touch, no ownership
+            # transfer (release is a no-op with pooling off).
+            def sink(arr: np.ndarray) -> None:
+                g0 = grads[slot]
+                if g0 is None:
+                    grads[slot] = arr.copy()
+                else:
+                    g0 += arr
+        return sink
+
+    def _sink_copy(self, t: Tensor) -> Callable[[np.ndarray], None]:
+        """Mirror ``Tensor._accumulate`` for possibly-aliased gradients."""
+        slot, leaf = self._resolve(t)
+        if slot is None:
+            return leaf._accumulate
+        grads = self.plan._grads
+
+        def sink(arr: np.ndarray) -> None:
+            g0 = grads[slot]
+            if g0 is None:
+                grads[slot] = arr.copy()
+            else:
+                g0 += arr
+        return sink
+
+    def leaf_shapes(self) -> List[Tuple[Tensor, tuple]]:
+        return [(t, t.data.shape) for t in self._leaves.values()]
+
+    # -- per-op thunk builders --------------------------------------------
+    def build(self, rec: _Record):
+        try:
+            builder = getattr(self, "_build_" + rec.kind)
+        except AttributeError:
+            raise _CaptureError(f"no plan builder for op {rec.kind!r}")
+        return builder(rec)
+
+    def _build_conv2d(self, rec: _Record):
+        if ws.config.conv_impl == "einsum":
+            return self._build_conv2d_einsum(rec)
+        return self._build_conv2d_generic(rec)
+
+    def _build_conv2d_einsum(self, rec: _Record):
+        """Specialized conv thunks with preplanned workspace buffers.
+
+        This is where the plan beats eager on kernel-bound steps: every
+        staging buffer the eager kernel acquires per call (padded input,
+        column tensor, output, dx) becomes a plan-owned array allocated once
+        at capture, and every ``sliding_window_view`` / weight-reshape /
+        transpose is precomputed as a view over those stable buffers.
+        Replay performs the identical numpy operations on identical values
+        (border zeros are written once instead of every step; interiors and
+        GEMM outputs are fully overwritten each step), so results stay
+        bit-exact while the per-step view construction, border memsets, and
+        pool traffic disappear.
+        """
+        x, weight, bias = rec.inputs
+        stride, padding, need_dx = rec.attrs
+        rd_x = self._reader(x)
+        w_t = self._leaf(weight)
+        b_t = self._leaf(bias)
+        n, c, h, wd = x.data.shape
+        k, _c2, r, s = weight.data.shape
+        ho, wo = _conv.conv_out_size(h, wd, r, s, stride, padding)
+        dtype = x.data.dtype
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+        from . import functional as F
+
+        if _conv._is_pointwise(r, s, padding):
+            w2 = w_t.data.reshape(k, c)
+            y3 = np.empty((n, k, ho * wo), dtype=dtype)
+            y4 = y3.reshape(n, k, ho, wo)
+            if stride > 1:
+                xm4 = np.empty((n, c, ho, wo), dtype=dtype)
+                xm = xm4.reshape(n, c, ho * wo)
+                xmT = xm.transpose(0, 2, 1)
+
+                def fwd() -> None:
+                    np.copyto(xm4, rd_x()[:, :, ::stride, ::stride])
+                    np.matmul(w2, xm, out=y3)
+                    if b_t is not None:
+                        np.add(y4, b_t.data[None, :, None, None], out=y4)
+                    values[o] = y4
+            else:
+                # The staged input is just a reshape view of the incoming
+                # activation; rebuild it per step (the producing op may
+                # write a fresh array) and keep it for the backward GEMM.
+                xbox: List[Optional[np.ndarray]] = [None]
+
+                def fwd() -> None:
+                    xm_ = rd_x().reshape(n, c, ho * wo)
+                    xbox[0] = xm_
+                    np.matmul(w2, xm_, out=y3)
+                    if b_t is not None:
+                        np.add(y4, b_t.data[None, :, None, None], out=y4)
+                    values[o] = y4
+            if not self.keep_ctx:
+                return fwd, None
+            w2t = w2.T
+            dwn = np.empty((n, k, c), dtype=dtype)
+            if need_dx:
+                if stride > 1:
+                    tmp3 = np.empty((n, c, ho * wo), dtype=dtype)
+                    tmp4 = tmp3.reshape(n, c, ho, wo)
+                    dx_buf = np.zeros((n, c, h, wd), dtype=dtype)
+                else:
+                    dx3 = np.empty((n, c, ho * wo), dtype=dtype)
+                    dx4 = dx3.reshape(n, c, h, wd)
+            sink_x = self._sink_donate(x) if need_dx else None
+
+            def bwd() -> None:
+                g = grads[o]
+                if g is None:
+                    return
+                dym = g.reshape(n, k, ho * wo)
+                if stride > 1:
+                    np.matmul(dym, xmT, out=dwn)
+                else:
+                    np.matmul(dym, xbox[0].transpose(0, 2, 1), out=dwn)
+                dw = np.add.reduce(dwn, axis=0).reshape(k, c, 1, 1)
+                db = g.sum(axis=(0, 2, 3)) if b_t is not None else None
+                if need_dx:
+                    if stride > 1:
+                        np.matmul(w2t, dym, out=tmp3)
+                        # Strided lanes are overwritten below; off-lane
+                        # entries must match the eager zero-filled acquire
+                        # even if a multi-consumer accumulate dirtied them
+                        # last step, hence the per-step fill (eager pays
+                        # the same memset inside the pool).
+                        dx_buf.fill(0)
+                        dx_buf[:, :, ::stride, ::stride] = tmp4
+                        sink_x(dx_buf)
+                    else:
+                        np.matmul(w2t, dym, out=dx3)
+                        sink_x(dx4)
+                F._give_grad(w_t, dw)
+                if b_t is not None:
+                    F._give_grad(b_t, db)
+                ws.release(g)
+                grads[o] = None
+            return fwd, bwd
+
+        # -- general (RxS) einsum lowering ---------------------------------
+        w3 = w_t.data.reshape(k, c * r * s)
+        cols6 = np.empty((n, c, r, s, ho, wo), dtype=dtype)
+        cols3 = cols6.reshape(n, c * r * s, ho * wo)
+        cols3T = cols3.transpose(0, 2, 1)
+        y3 = np.empty((n, k, ho * wo), dtype=dtype)
+        y4 = y3.reshape(n, k, ho, wo)
+        if padding > 0:
+            xp = np.zeros((n, c, h + 2 * padding, wd + 2 * padding),
+                          dtype=dtype)
+            xp_core = xp[:, :, padding:padding + h, padding:padding + wd]
+            wdwT = _conv._windows(xp, r, s, stride).transpose(0, 1, 4, 5, 2, 3)
+
+            def fwd() -> None:
+                np.copyto(xp_core, rd_x())
+                np.copyto(cols6, wdwT)
+                np.matmul(w3, cols3, out=y3)
+                if b_t is not None:
+                    np.add(y4, b_t.data[None, :, None, None], out=y4)
+                values[o] = y4
+        else:
+            def fwd() -> None:
+                wdw = _conv._windows(rd_x(), r, s, stride)
+                np.copyto(cols6, wdw.transpose(0, 1, 4, 5, 2, 3))
+                np.matmul(w3, cols3, out=y3)
+                if b_t is not None:
+                    np.add(y4, b_t.data[None, :, None, None], out=y4)
+                values[o] = y4
+        if not self.keep_ctx:
+            return fwd, None
+
+        dwn = np.empty((n, k, c * r * s), dtype=dtype)
+        sink_x = self._sink_donate(x) if need_dx else None
+        if need_dx and stride == 1 and r > padding and s > padding:
+            # Transposed-convolution dx (the eager _tconv_dx), with the
+            # padded-dy staging, window view, and output preplanned.
+            pr, ps = r - 1 - padding, s - 1 - padding
+            wf4 = np.empty((c, k, r, s), dtype=dtype)
+            wf2 = wf4.reshape(c, k * r * s)
+            dx3 = np.empty((n, c, h * wd), dtype=dtype)
+            dx4 = dx3.reshape(n, c, h, wd)
+            dyc6 = np.empty((n, k, r, s, h, wd), dtype=dtype)
+            dyc3 = dyc6.reshape(n, k * r * s, h * wd)
+            if pr or ps:
+                dyp = np.zeros((n, k, ho + 2 * pr, wo + 2 * ps), dtype=dtype)
+                dyp_core = dyp[:, :, pr:ho + pr, ps:wo + ps]
+                dywT = _conv._windows(dyp, r, s, 1) \
+                    .transpose(0, 1, 4, 5, 2, 3)
+
+                def compute_dx(g: np.ndarray) -> np.ndarray:
+                    np.copyto(dyp_core, g)
+                    np.copyto(dyc6, dywT)
+                    np.copyto(wf4,
+                              w_t.data[:, :, ::-1, ::-1].transpose(1, 0, 2, 3))
+                    np.matmul(wf2, dyc3, out=dx3)
+                    return dx4
+            else:
+                def compute_dx(g: np.ndarray) -> np.ndarray:
+                    dyw = _conv._windows(g, r, s, 1)
+                    np.copyto(dyc6, dyw.transpose(0, 1, 4, 5, 2, 3))
+                    np.copyto(wf4,
+                              w_t.data[:, :, ::-1, ::-1].transpose(1, 0, 2, 3))
+                    np.matmul(wf2, dyc3, out=dx3)
+                    return dx4
+        elif need_dx:
+            # Strided scatter-add dx (the eager _dx_scatter), preplanned.
+            hp, wp = h + 2 * padding, wd + 2 * padding
+            w3T = w3.T
+            dcols = np.empty((n, c * r * s, ho * wo), dtype=dtype)
+            d6 = dcols.reshape(n, c, r, s, ho, wo)
+            dxp = np.zeros((n, c, hp, wp), dtype=dtype)
+            if padding > 0:
+                dx_view = dxp[:, :, padding:padding + h, padding:padding + wd]
+            else:
+                dx_view = dxp
+
+            def compute_dx(g: np.ndarray) -> np.ndarray:
+                np.matmul(w3T, g.reshape(n, k, ho * wo), out=dcols)
+                # Scatter-adds accumulate, so the zeroed state must be
+                # restored per step — eager pays the same memset via its
+                # zero-filled pool acquire.
+                dxp.fill(0)
+                for ri in range(r):
+                    h_end = ri + stride * ho
+                    for si in range(s):
+                        w_end = si + stride * wo
+                        dxp[:, :, ri:h_end:stride, si:w_end:stride] += \
+                            d6[:, :, ri, si]
+                return dx_view
+        else:
+            compute_dx = None
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            dym = g.reshape(n, k, ho * wo)
+            np.matmul(dym, cols3T, out=dwn)
+            dw = np.add.reduce(dwn, axis=0).reshape(k, c, r, s)
+            db = g.sum(axis=(0, 2, 3)) if b_t is not None else None
+            if compute_dx is not None:
+                sink_x(compute_dx(g))
+            F._give_grad(w_t, dw)
+            if b_t is not None:
+                F._give_grad(b_t, db)
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_conv2d_generic(self, rec: _Record):
+        x, weight, bias = rec.inputs
+        stride, padding, need_dx = rec.attrs
+        rd_x = self._reader(x)
+        w_t = self._leaf(weight)
+        b_t = self._leaf(bias)
+        x_shape = x.data.shape
+        o = self.tape.slot_of[id(rec.out)]
+        values, ctxs, grads = (self.plan._values, self.plan._ctxs,
+                               self.plan._grads)
+        if not self.keep_ctx:
+            def fwd() -> None:
+                y, ctx = _conv.conv2d_forward(
+                    rd_x(), w_t.data,
+                    b_t.data if b_t is not None else None, stride, padding)
+                _conv.release_ctx(ctx)
+                values[o] = y
+            return fwd, None
+
+        def fwd() -> None:
+            y, ctx = _conv.conv2d_forward(
+                rd_x(), w_t.data,
+                b_t.data if b_t is not None else None, stride, padding)
+            values[o] = y
+            ctxs[o] = ctx
+
+        sink_x = self._sink_donate(x) if need_dx else None
+        from . import functional as F
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            dx, dw, db = _conv.conv2d_backward(
+                g, ctxs[o], x_shape, w_t.data, stride, padding,
+                need_dx=need_dx, need_db=b_t is not None)
+            if dx is not None:
+                sink_x(dx)
+            _conv.release_ctx(ctxs[o])
+            ctxs[o] = None
+            F._give_grad(w_t, dw)
+            if b_t is not None:
+                F._give_grad(b_t, db)
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_linear(self, rec: _Record):
+        x, weight, bias = rec.inputs
+        rd_x = self._reader(x)
+        w_t = self._leaf(weight)
+        b_t = self._leaf(bias)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            y = rd_x() @ w_t.data.T
+            if b_t is not None:
+                y = y + b_t.data
+            values[o] = y
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_donate(x)
+        from . import functional as F
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(np.matmul(g, w_t.data))
+            F._give_grad(w_t, np.matmul(g.T, rd_x()))
+            if b_t is not None:
+                F._give_grad(b_t, g.sum(axis=0))
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_batch_norm(self, rec: _Record):
+        x, gamma, beta = rec.inputs
+        _rm, _rv, _mom, _eps, training, relu_flag = rec.attrs
+        if training and (relu_flag or ws.config.fused_bnrelu):
+            return self._build_batch_norm_coef(rec)
+        return self._build_batch_norm_generic(rec)
+
+    def _build_batch_norm_coef(self, rec: _Record):
+        """Specialized training-mode BN (affine-folded), preplanned buffers.
+
+        Performs the identical operation sequence as
+        ``ops.norm.batchnorm_forward`` / ``_coef_backward`` — including the
+        in-place running-statistics EMA — but writes the full-size passes
+        (``y``, the ReLU-masked gradient, ``dx``) into plan-owned stable
+        arrays via ``out=``, eliminating the per-step activation/gradient
+        allocations and pool traffic while keeping results bit-exact.
+        """
+        x, gamma, beta = rec.inputs
+        rm, rv, momentum, eps, training, relu_flag = rec.attrs
+        rd_x = self._reader(x)
+        g_t = self._leaf(gamma)
+        b_t = self._leaf(beta)
+        n, c, h, w = x.data.shape
+        m = n * h * w
+        dtype = x.data.dtype
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+        from . import functional as F
+        y = np.empty((n, c, h, w), dtype=dtype)
+        #: (x, mu, inv_std) of the current step, for the backward thunk
+        box: List[Optional[tuple]] = [None]
+        keep = self.keep_ctx
+
+        def fwd() -> None:
+            xv = rd_x()
+            x3 = xv.reshape(n, c, h * w)
+            # np.add.reduce + in-place divide is bit-identical to
+            # x3.mean(axis=(0, 2)) (it is exactly what np.mean does
+            # internally) without the per-call wrapper overhead.
+            mu = np.add.reduce(x3, axis=(0, 2))
+            np.true_divide(mu, m, out=mu, casting="unsafe")
+            ex2 = np.einsum("ncp,ncp->c", x3, x3) / m
+            var = np.maximum(ex2 - mu * mu, 0.0)
+            # In-place EMA exactly as the eager kernel (*=, += forms).
+            np.multiply(rm, 1.0 - momentum, out=rm)
+            np.add(rm, momentum * mu, out=rm)
+            np.multiply(rv, 1.0 - momentum, out=rv)
+            np.add(rv, momentum * var, out=rv)
+            inv_std = 1.0 / np.sqrt(var + eps)
+            a = g_t.data * inv_std
+            b = b_t.data - mu * a
+            np.multiply(xv, a[None, :, None, None], out=y)
+            np.add(y, b[None, :, None, None], out=y)
+            if relu_flag:
+                np.maximum(y, 0, out=y)
+            values[o] = y
+            if keep:
+                box[0] = (xv, mu, inv_std)
+
+        if not keep:
+            return fwd, None
+
+        sink_x = self._sink_donate(x)
+        dx = np.empty((n, c, h, w), dtype=dtype)
+        gbuf = np.empty((n, c, h, w), dtype=dtype)
+        if relu_flag:
+            mask = np.empty((n, c, h, w), dtype=bool)
+
+        def bwd() -> None:
+            gr = grads[o]
+            if gr is None:
+                return
+            xv, mu, inv_std = box[0]
+            box[0] = None
+            if relu_flag:
+                np.greater(y, 0, out=mask)
+                np.multiply(gr, mask, out=gbuf)
+                g = gbuf
+            else:
+                g = gr
+            g3 = g.reshape(n, c, h * w)
+            dbeta = np.add.reduce(g3, axis=(0, 2))
+            sgx = np.einsum("ncp,ncp->c", g3, xv.reshape(n, c, h * w))
+            dgamma = (sgx - mu * dbeta) * inv_std
+            c1 = (g_t.data * inv_std).astype(dtype, copy=False)
+            c2 = (-(c1 * inv_std * dgamma) / m).astype(dtype, copy=False)
+            c0 = (-(c1 * dbeta) / m - c2 * mu).astype(dtype, copy=False)
+            np.multiply(xv, c2[None, :, None, None], out=dx)
+            np.multiply(g, c1[None, :, None, None], out=gbuf)
+            np.add(dx, gbuf, out=dx)
+            np.add(dx, c0[None, :, None, None], out=dx)
+            sink_x(dx)
+            F._give_grad(g_t, dgamma)
+            F._give_grad(b_t, dbeta)
+            ws.release(gr)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_batch_norm_generic(self, rec: _Record):
+        x, gamma, beta = rec.inputs
+        rm, rv, momentum, eps, training, relu_flag = rec.attrs
+        rd_x = self._reader(x)
+        g_t = self._leaf(gamma)
+        b_t = self._leaf(beta)
+        o = self.tape.slot_of[id(rec.out)]
+        values, ctxs, grads = (self.plan._values, self.plan._ctxs,
+                               self.plan._grads)
+        if not self.keep_ctx:
+            def fwd() -> None:
+                y, _cache = _norm.batchnorm_forward(
+                    rd_x(), g_t.data, b_t.data, rm, rv, momentum, eps,
+                    training, relu=relu_flag)
+                values[o] = y
+            return fwd, None
+
+        def fwd() -> None:
+            y, cache = _norm.batchnorm_forward(
+                rd_x(), g_t.data, b_t.data, rm, rv, momentum, eps,
+                training, relu=relu_flag)
+            values[o] = y
+            ctxs[o] = cache
+
+        sink_x = self._sink_donate(x)
+        from . import functional as F
+        bn_bwd = _norm.batchnorm_backward if training \
+            else _norm.batchnorm_eval_backward
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            dx, dgamma, dbeta = bn_bwd(g, ctxs[o])
+            sink_x(dx)
+            F._give_grad(g_t, dgamma)
+            F._give_grad(b_t, dbeta)
+            ctxs[o] = None
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_relu(self, rec: _Record):
+        (x,) = rec.inputs
+        rd_x = self._reader(x)
+        shape = rec.out.data.shape
+        dtype = rec.out.data.dtype
+        y = np.empty(shape, dtype=dtype)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            np.maximum(rd_x(), 0, out=y)
+            values[o] = y
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_donate(x)
+        mask = np.empty(shape, dtype=bool)
+        prod = np.empty(shape, dtype=dtype)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            np.greater(y, 0, out=mask)
+            np.multiply(g, mask, out=prod)
+            sink_x(prod)
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_add_relu(self, rec: _Record):
+        a, b = rec.inputs
+        rd_a, rd_b = self._reader(a), self._reader(b)
+        shape = rec.out.data.shape
+        dtype = rec.out.data.dtype
+        y = np.empty(shape, dtype=dtype)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            np.add(rd_a(), rd_b(), out=y)
+            np.maximum(y, 0, out=y)
+            values[o] = y
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_a, sink_b = self._sink_donate(a), self._sink_donate(b)
+        mask = np.empty(shape, dtype=bool)
+        # Two product buffers: the eager backward donates a *separate*
+        # masked gradient to each parent.
+        prod_a = np.empty(shape, dtype=dtype)
+        prod_b = np.empty(shape, dtype=dtype)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            np.greater(y, 0, out=mask)
+            np.multiply(g, mask, out=prod_a)
+            sink_a(prod_a)
+            np.multiply(g, mask, out=prod_b)
+            sink_b(prod_b)
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_add(self, rec: _Record):
+        a, b = rec.inputs
+        rd_a, rd_b = self._reader(a), self._reader(b)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            values[o] = rd_a() + rd_b()
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_a, sink_b = self._sink_copy(a), self._sink_copy(b)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_a(g)
+            sink_b(g)
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_reshape(self, rec: _Record):
+        (x,) = rec.inputs
+        orig_shape = rec.attrs
+        out_shape = rec.out.data.shape
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            values[o] = rd_x().reshape(out_shape)
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_copy(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(g.reshape(orig_shape))
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_max_pool2d(self, rec: _Record):
+        (x,) = rec.inputs
+        k = rec.attrs
+        x_shape = x.data.shape
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, ctxs, grads = (self.plan._values, self.plan._ctxs,
+                               self.plan._grads)
+
+        if not self.keep_ctx:
+            def fwd() -> None:
+                y, _mask = _pool.maxpool2d_forward(rd_x(), k)
+                values[o] = y
+            return fwd, None
+
+        def fwd() -> None:
+            y, mask = _pool.maxpool2d_forward(rd_x(), k)
+            values[o] = y
+            ctxs[o] = mask
+
+        sink_x = self._sink_donate(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(_pool.maxpool2d_backward(g, ctxs[o], k, x_shape))
+            ctxs[o] = None
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_avg_pool2d(self, rec: _Record):
+        (x,) = rec.inputs
+        k = rec.attrs
+        x_shape = x.data.shape
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            values[o] = _pool.avgpool2d_forward(rd_x(), k)
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_donate(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(_pool.avgpool2d_backward(g, k, x_shape))
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_global_avg_pool(self, rec: _Record):
+        (x,) = rec.inputs
+        x_shape = x.data.shape
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            values[o] = _pool.global_avgpool_forward(rd_x())
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_donate(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(_pool.global_avgpool_backward(g, x_shape))
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_cross_entropy(self, rec: _Record):
+        (logits,) = rec.inputs
+        rd_l = self._reader(logits)
+        out_dtype = rec.out.data.dtype
+        o = self.tape.slot_of[id(rec.out)]
+        values, ctxs, grads = (self.plan._values, self.plan._ctxs,
+                               self.plan._grads)
+        tbox = self.plan._tbox
+
+        if not self.keep_ctx:
+            def fwd() -> None:
+                loss, _probs = _loss.cross_entropy_forward(rd_l(), tbox[0])
+                values[o] = np.asarray(loss, dtype=out_dtype)
+            return fwd, None
+
+        def fwd() -> None:
+            loss, probs = _loss.cross_entropy_forward(rd_l(), tbox[0])
+            values[o] = np.asarray(loss, dtype=out_dtype)
+            ctxs[o] = probs
+
+        sink_l = self._sink_donate(logits)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_l(_loss.cross_entropy_backward(ctxs[o], tbox[0]) * g)
+            ctxs[o] = None
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_pad_channels(self, rec: _Record):
+        (x,) = rec.inputs
+        total = rec.attrs
+        n, c, h, w = x.data.shape
+        dtype = x.data.dtype
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            out = np.zeros((n, total, h, w), dtype=dtype)
+            out[:, :c] = rd_x()
+            values[o] = out
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_copy(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(g[:, :c])
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_gather_channels(self, rec: _Record):
+        (x,) = rec.inputs
+        idx = rec.attrs
+        x_shape = x.data.shape
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            values[o] = np.ascontiguousarray(rd_x()[:, idx])
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_copy(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            full = np.zeros(x_shape, dtype=g.dtype)
+            full[:, idx] = g
+            sink_x(full)
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+    def _build_scatter_channels(self, rec: _Record):
+        (x,) = rec.inputs
+        idx, total = rec.attrs
+        n, _c, h, w = x.data.shape
+        dtype = x.data.dtype
+        rd_x = self._reader(x)
+        o = self.tape.slot_of[id(rec.out)]
+        values, grads = self.plan._values, self.plan._grads
+
+        def fwd() -> None:
+            out = np.zeros((n, total, h, w), dtype=dtype)
+            out[:, idx] = rd_x()
+            values[o] = out
+
+        if not self.keep_ctx:
+            return fwd, None
+        sink_x = self._sink_copy(x)
+
+        def bwd() -> None:
+            g = grads[o]
+            if g is None:
+                return
+            sink_x(np.ascontiguousarray(g[:, idx]))
+            ws.release(g)
+            grads[o] = None
+        return fwd, bwd
+
+
+class StepPlan:
+    """A captured step, replayable as a flat list of kernel thunks.
+
+    ``kind == "train"`` plans run forward + loss + backward and leave
+    parameter gradients exactly where the eager step would (``param.grad``);
+    ``kind == "forward"`` plans run inference only.  A plan is bound to the
+    capture-time batch shape, engine configuration, and parameter shapes —
+    :meth:`invalid_reason` performs the cheap per-replay stationarity check.
+    """
+
+    def __init__(self, kind: str, n_slots: int, input_slot: int):
+        self.kind = kind
+        self.n_slots = n_slots
+        self._input_slot = input_slot
+        self._values: List[Optional[np.ndarray]] = [None] * n_slots
+        self._grads: List[Optional[np.ndarray]] = [None] * n_slots
+        self._ctxs: List[object] = [None] * n_slots
+        self._tbox: List[object] = [None]
+        self._fwd: List[Callable[[], None]] = []
+        self._bwd: List[Callable[[], None]] = []
+        self._logits_slot = -1
+        self._loss_slot = -1
+        self._leaf_shapes: List[Tuple[Tensor, tuple]] = []
+        self._n_ops = 0
+        self.generation = ws.PLAN_GENERATION
+        self.engine_sig = (ws.config.pooling, ws.config.fused_bnrelu,
+                           ws.config.conv_impl)
+
+    # -- validation --------------------------------------------------------
+    def invalid_reason(self) -> Optional[str]:
+        """Cheap stationarity check; ``None`` means the plan may replay."""
+        if self.generation != ws.PLAN_GENERATION:
+            return "model reconfigured since capture"
+        if (ws.config.pooling, ws.config.fused_bnrelu,
+                ws.config.conv_impl) != self.engine_sig:
+            return "engine configuration changed since capture"
+        for t, shape in self._leaf_shapes:
+            if t.data.shape != shape:
+                return "parameter shape changed since capture"
+        return None
+
+    # -- replay ------------------------------------------------------------
+    def run(self, x: np.ndarray, targets: np.ndarray
+            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Replay one training step; returns ``(loss, logits)`` arrays.
+
+        The caller is responsible for ``optimizer.zero_grad()`` before and
+        ``optimizer.step()`` after, exactly as around an eager step.
+        """
+        t0 = time.perf_counter()
+        values = self._values
+        grads = self._grads
+        values[self._input_slot] = x
+        self._tbox[0] = targets
+        for f in self._fwd:
+            f()
+        loss = values[self._loss_slot]
+        logits = values[self._logits_slot]
+        grads[self._loss_slot] = np.ones_like(loss)
+        for b in self._bwd:
+            b()
+        # Drop activation references eagerly (peak-memory parity with the
+        # eager engine, whose graph teardown frees them in backward()).
+        for i in range(self.n_slots):
+            values[i] = None
+            grads[i] = None
+            self._ctxs[i] = None
+        self._tbox[0] = None
+        STATS.replays += 1
+        STATS.replay_seconds += time.perf_counter() - t0
+        return loss, logits
+
+    def run_forward(self, x: np.ndarray) -> np.ndarray:
+        """Replay a forward-only plan; returns the logits array."""
+        t0 = time.perf_counter()
+        values = self._values
+        values[self._input_slot] = x
+        for f in self._fwd:
+            f()
+        logits = values[self._logits_slot]
+        for i in range(self.n_slots):
+            values[i] = None
+        STATS.replays += 1
+        STATS.replay_seconds += time.perf_counter() - t0
+        return logits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StepPlan(kind={self.kind!r}, ops={self._n_ops}, "
+                f"slots={self.n_slots}, generation={self.generation})")
+
+
+class PlanCache:
+    """Shape-keyed plan cache that self-clears on generation bumps.
+
+    Values are either a :class:`StepPlan` or a ``str`` fallback reason (a
+    capture-failure sentinel, so an uncompilable step is attempted once per
+    stationary phase, not once per batch).
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[tuple, object] = {}
+        self._generation = ws.PLAN_GENERATION
+
+    def lookup(self, key: tuple):
+        if self._generation != ws.PLAN_GENERATION:
+            self._plans.clear()
+            self._generation = ws.PLAN_GENERATION
+        return self._plans.get(key)
+
+    def store(self, key: tuple, value) -> None:
+        self._generation = ws.PLAN_GENERATION
+        self._plans[key] = value
+
+    def drop(self, key: tuple) -> None:
+        self._plans.pop(key, None)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+# ---------------------------------------------------------------------------
+# capture helpers (the trainer's entry points)
+# ---------------------------------------------------------------------------
+def capture_training_step(model, x: np.ndarray, targets: np.ndarray):
+    """Run one eager forward+loss under capture and compile a train plan.
+
+    Returns ``(plan, loss, logits, reason)``.  The forward/loss here *are*
+    the step's eager computation (capture only observes), so on success or
+    failure alike the caller finishes the step with ``loss.backward()`` and
+    the optimizer — the captured batch is bit-identical to an uncaptured
+    one, and the plan takes over from the next batch.
+    """
+    from . import functional as F
+    t0 = time.perf_counter()
+    # cross_entropy re-wraps targets with np.asarray; pre-wrap here so the
+    # recorded attrs object is identical and finalize's identity check holds.
+    targets = np.asarray(targets)
+    tape = Tape()
+    with tape:
+        xt = tape.input(x)
+        logits = model(xt)
+        loss = F.cross_entropy(logits, targets)
+    plan, reason = tape.finalize_training(loss, logits, targets)
+    if plan is not None:
+        STATS.captures += 1
+        STATS.capture_seconds += time.perf_counter() - t0
+    else:
+        STATS.fallbacks += 1
+        STATS.last_fallback_reason = reason or "capture failed"
+    return plan, loss, logits, reason
+
+
+def capture_forward(model, x: np.ndarray):
+    """Run one inference forward under capture; compile a forward plan.
+
+    Returns ``(plan, logits, reason)``.  Runs under ``no_grad`` (building a
+    graph that is never backwarded would strand pooled staging buffers).
+    """
+    t0 = time.perf_counter()
+    tape = Tape()
+    with tape, no_grad():
+        xt = tape.input(x)
+        logits = model(xt)
+    plan, reason = tape.finalize_forward(logits)
+    if plan is not None:
+        STATS.captures += 1
+        STATS.capture_seconds += time.perf_counter() - t0
+    else:
+        STATS.fallbacks += 1
+        STATS.last_fallback_reason = reason or "capture failed"
+    return plan, logits, reason

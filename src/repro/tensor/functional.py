@@ -20,6 +20,11 @@ This layer owns two cross-cutting concerns of the performance overhaul:
 - **Op-level profiling.**  Every op is bracketed with
   ``repro.profiler.PROFILER`` guards; the disabled cost is one attribute
   check per call.
+
+- **Step capture.**  When a :class:`repro.tensor.compile.Tape` is active
+  (``repro.tensor.tensor._TAPE``), every op appends an execution record so
+  the step can be replayed as a flat kernel plan.  The disabled cost is one
+  ``is not None`` check per call, same pattern as the profiler guard.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import Optional
 import numpy as np
 
 from ..profiler import PROFILER as _P
+from . import tensor as _tensor_mod
 from . import workspace as ws
 from .ops import conv as _conv
 from .ops import loss as _loss
@@ -65,7 +71,10 @@ def relu(x: Tensor) -> Tensor:
     def backward(g: np.ndarray) -> None:
         _give_grad(x, g * (out_data > 0))
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("relu", (x,), out, None)
+    return out
 
 
 def add_relu(a: Tensor, b: Tensor) -> Tensor:
@@ -84,7 +93,10 @@ def add_relu(a: Tensor, b: Tensor) -> Tensor:
         _give_grad(a, g * mask)
         _give_grad(b, g * mask)
 
-    return Tensor._make(out_data, (a, b), backward)
+    out = Tensor._make(out_data, (a, b), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("add_relu", (a, b), out, None)
+    return out
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor],
@@ -101,7 +113,11 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor],
         _P.add("conv2d_fwd", time.perf_counter() - t0, y.nbytes)
     if not grad_enabled():
         _conv.release_ctx(ctx)
-        return Tensor(y)
+        out = Tensor(y)
+        if _tensor_mod._TAPE is not None:
+            _tensor_mod._TAPE.record("conv2d", (x, weight, bias), out,
+                                     (stride, padding, first_layer))
+        return out
     x_shape = x.data.shape
     w_data = weight.data
     parents = (x, weight) + ((bias,) if bias is not None else ())
@@ -124,7 +140,11 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor],
         if prof:
             _P.add("conv2d_bwd", time.perf_counter() - t0, dw.nbytes)
 
-    return Tensor._make(y, parents, backward)
+    out = Tensor._make(y, parents, backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("conv2d", (x, weight, bias), out,
+                                 (stride, padding, first_layer))
+    return out
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
@@ -142,7 +162,10 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
         if bias is not None:
             _give_grad(bias, g.sum(axis=0))
 
-    return Tensor._make(y, parents, backward)
+    out = Tensor._make(y, parents, backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("linear", (x, weight, bias), out, None)
+    return out
 
 
 def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
@@ -164,7 +187,12 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
         _P.add("bn_relu_fwd" if relu else "bn_fwd",
                time.perf_counter() - t0, y.nbytes)
     if not grad_enabled():
-        return Tensor(y)
+        out = Tensor(y)
+        if _tensor_mod._TAPE is not None:
+            _tensor_mod._TAPE.record(
+                "batch_norm", (x, gamma, beta), out,
+                (running_mean, running_var, momentum, eps, training, relu))
+        return out
 
     def backward(g: np.ndarray) -> None:
         prof = _P.enabled
@@ -181,7 +209,12 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
             _P.add("bn_relu_bwd" if relu else "bn_bwd",
                    time.perf_counter() - t0, 0)
 
-    return Tensor._make(y, (x, gamma, beta), backward)
+    out = Tensor._make(y, (x, gamma, beta), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record(
+            "batch_norm", (x, gamma, beta), out,
+            (running_mean, running_var, momentum, eps, training, relu))
+    return out
 
 
 def max_pool2d(x: Tensor, kernel: int) -> Tensor:
@@ -195,7 +228,10 @@ def max_pool2d(x: Tensor, kernel: int) -> Tensor:
         dx = _pool.maxpool2d_backward(g, mask, kernel, x_shape)
         _give_grad(x, dx)
 
-    return Tensor._make(y, (x,), backward)
+    out = Tensor._make(y, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("max_pool2d", (x,), out, kernel)
+    return out
 
 
 def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
@@ -209,7 +245,10 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
         dx = _pool.avgpool2d_backward(g, kernel, x_shape)
         _give_grad(x, dx)
 
-    return Tensor._make(y, (x,), backward)
+    out = Tensor._make(y, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("avg_pool2d", (x,), out, kernel)
+    return out
 
 
 def global_avg_pool(x: Tensor) -> Tensor:
@@ -221,7 +260,10 @@ def global_avg_pool(x: Tensor) -> Tensor:
         dx = _pool.global_avgpool_backward(g, x_shape)
         _give_grad(x, dx)
 
-    return Tensor._make(y, (x,), backward)
+    out = Tensor._make(y, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("global_avg_pool", (x,), out, None)
+    return out
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -232,8 +274,11 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     def backward(g: np.ndarray) -> None:
         _give_grad(logits, _loss.cross_entropy_backward(probs, targets) * g)
 
-    return Tensor._make(np.asarray(loss, dtype=logits.data.dtype),
-                        (logits,), backward)
+    out = Tensor._make(np.asarray(loss, dtype=logits.data.dtype),
+                       (logits,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("cross_entropy", (logits,), out, targets)
+    return out
 
 
 def pad_channels(x: Tensor, total: int) -> Tensor:
@@ -253,7 +298,10 @@ def pad_channels(x: Tensor, total: int) -> Tensor:
     def backward(g: np.ndarray) -> None:
         x._accumulate(g[:, :c])
 
-    return Tensor._make(out, (x,), backward)
+    node = Tensor._make(out, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("pad_channels", (x,), node, total)
+    return node
 
 
 def gather_channels(x: Tensor, idx: np.ndarray) -> Tensor:
@@ -271,7 +319,10 @@ def gather_channels(x: Tensor, idx: np.ndarray) -> Tensor:
         full[:, idx] = g
         x._accumulate(full)
 
-    return Tensor._make(out, (x,), backward)
+    node = Tensor._make(out, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("gather_channels", (x,), node, idx)
+    return node
 
 
 def scatter_channels(x: Tensor, idx: np.ndarray, total: int) -> Tensor:
@@ -284,4 +335,7 @@ def scatter_channels(x: Tensor, idx: np.ndarray, total: int) -> Tensor:
     def backward(g: np.ndarray) -> None:
         x._accumulate(np.ascontiguousarray(g[:, idx]))
 
-    return Tensor._make(out, (x,), backward)
+    node = Tensor._make(out, (x,), backward)
+    if _tensor_mod._TAPE is not None:
+        _tensor_mod._TAPE.record("scatter_channels", (x,), node, (idx, total))
+    return node

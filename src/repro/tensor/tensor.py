@@ -26,6 +26,12 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 #: optimizer updates do not record graph nodes.
 _GRAD_ENABLED = True
 
+#: Active capture tape (:class:`repro.tensor.compile.Tape`) or ``None``.
+#: While set, every op appends an execution record so the step can later be
+#: replayed as a flat kernel plan; the disabled cost is one global load per
+#: op.  Set/cleared only by ``Tape.__enter__``/``__exit__``.
+_TAPE = None
+
 
 class no_grad:
     """Context manager disabling graph recording (like ``torch.no_grad``)."""
@@ -88,6 +94,8 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self.name = name
+        if _TAPE is not None:
+            _TAPE.saw_fresh(self)
 
     # ------------------------------------------------------------------
     # basic introspection
@@ -210,17 +218,23 @@ class Tensor:
                     stack.append((p, False))
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
+            if node._backward is None:
+                continue  # leaf: no closure, and its grad must survive
+            if node.grad is not None:
                 node._backward(node.grad)
-                # Free interior gradients/graph promptly: parameters are
-                # leaves (no _backward), their grads survive.  Donated
-                # pool buffers (see _accumulate_donated) go back to the
-                # workspace here — release is a no-op for plain arrays.
-                node._backward = None
-                node._parents = ()
                 if node is not self:
+                    # Donated pool buffers (see _accumulate_donated) go
+                    # back to the workspace here — release is a no-op for
+                    # plain arrays.
                     _pool_release(node.grad)
                     node.grad = None
+            # Drop the closure and parent references even when this node
+            # received no gradient (e.g. a conv that skips dx): a retained
+            # closure would keep its entire upstream subgraph — and every
+            # activation buffer captured in those closures — alive until
+            # the output tensor itself is garbage collected.
+            node._backward = None
+            node._parents = ()
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -240,7 +254,10 @@ class Tensor:
             self._accumulate(g)
             other._accumulate(g)
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            _TAPE.record("add", (self, other), out, None)
+        return out
 
     __radd__ = __add__
 
@@ -318,7 +335,10 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             self._accumulate(g.reshape(orig))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE.record("reshape", (self,), out, orig)
+        return out
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):

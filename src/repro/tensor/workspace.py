@@ -193,6 +193,25 @@ class WorkspacePool:
 #: The process-wide pool every kernel draws from.
 POOL = WorkspacePool()
 
+#: Monotonic counter bumped whenever the shape-stationarity assumption is
+#: broken (pruning reconfiguration, checkpoint restore).  Compiled step
+#: plans (:mod:`repro.tensor.compile`) record the value at capture time and
+#: refuse to replay once it moves — the same moments that empty the buffer
+#: pool also invalidate every captured kernel schedule.
+PLAN_GENERATION = 0
+
+
+def invalidate_plans() -> None:
+    """Invalidate every captured step plan without touching the pool.
+
+    Called on its own for state mutations that keep activation shapes but
+    swap the underlying arrays (``Module.load_state_dict`` reassigns
+    ``param.data``, so array references captured by a plan go stale), and
+    as part of :func:`invalidate` for full reconfigurations.
+    """
+    global PLAN_GENERATION
+    PLAN_GENERATION += 1
+
 
 def acquire(shape: tuple, dtype=np.float32, zero: bool = False) -> np.ndarray:
     """Module-level alias for ``POOL.acquire``."""
@@ -206,5 +225,7 @@ def release(arr) -> None:
 
 def invalidate() -> None:
     """Drop all pooled buffers; called on pruning reconfiguration, when the
-    model's activation shapes change wholesale."""
+    model's activation shapes change wholesale.  Also invalidates every
+    captured step plan (same stationarity assumption, same breaking point)."""
     POOL.clear()
+    invalidate_plans()

@@ -28,6 +28,9 @@ from ..profiler import PROFILER
 from ..prune.sparsity import model_channel_sparsity
 from ..tensor import Tensor, no_grad
 from ..tensor import functional as F
+from ..tensor import workspace as _ws
+from ..tensor.compile import (PlanCache, StepPlan, capture_forward,
+                              capture_training_step)
 from .metrics import EpochRecord, RunLog
 
 
@@ -72,6 +75,17 @@ class TrainerConfig:
     checkpoint_dir: Optional[str] = None
     #: retain only the newest N periodic checkpoints (0 = keep all)
     checkpoint_keep: int = 3
+    #: capture-and-replay compiled steps (:mod:`repro.tensor.compile`):
+    #: record the autograd tape on the first batch after each invalidation
+    #: (pruning reconfiguration, batch growth, checkpoint restore) and
+    #: replay it as a flat kernel plan until the next one.  Replay is
+    #: bit-exact against eager.  ``None`` defers to the
+    #: ``REPRO_COMPILE_STEP`` env flag (default on).  Compilation is
+    #: bypassed automatically when ``profile=True`` (per-op counters need
+    #: the instrumented eager path) or ``workers > 1`` (the simulated
+    #: data-parallel step has its own execution path); any capture failure
+    #: falls back to eager with a logged reason.
+    compile_step: Optional[bool] = None
 
 
 class Trainer:
@@ -106,6 +120,16 @@ class Trainer:
         #: happens exactly once per *run*, so a resumed run must not re-run
         #: it on its first post-resume batch)
         self._first_batch_done = False
+        cs = self.cfg.compile_step
+        if cs is None:
+            cs = _ws._env_flag("REPRO_COMPILE_STEP", True)
+        self._compile_enabled = bool(cs)
+        #: shape-keyed plan caches (one per batch shape, so dynamic batch
+        #: growth and the short tail batch each get their own plan); entries
+        #: self-invalidate on workspace.PLAN_GENERATION bumps
+        self._train_plans = PlanCache()
+        self._eval_plans = PlanCache()
+        self._fallback_reasons: set = set()
 
     # -- hooks (overridden by subclasses) -----------------------------------
     def on_run_start(self) -> None:
@@ -122,14 +146,63 @@ class Trainer:
         pass
 
     # -- core loop ---------------------------------------------------------
-    def _step_single(self, xb: np.ndarray, yb: np.ndarray
-                     ) -> tuple[float, float, float]:
+    def _compile_active(self) -> bool:
+        """Compiled stepping applies only to the plain single-worker path."""
+        return (self._compile_enabled and self.cfg.workers == 1
+                and not self.cfg.profile)
+
+    def _note_fallback(self, reason: Optional[str]) -> None:
+        reason = reason or "capture failed"
+        if reason not in self._fallback_reasons:
+            self._fallback_reasons.add(reason)
+            print(f"[{self.method_name}] compile_step fallback: {reason}")
+
+    def _step_eager(self, xb: np.ndarray, yb: np.ndarray
+                    ) -> tuple[float, float, float]:
         logits = self.model(Tensor(xb))
         loss = F.cross_entropy(logits, yb)
         self.optimizer.zero_grad()
         loss.backward()
         acc = float((logits.data.argmax(1) == yb).mean())
         return loss.item(), acc, 0.0
+
+    def _step_single(self, xb: np.ndarray, yb: np.ndarray
+                     ) -> tuple[float, float, float]:
+        if not self._compile_active():
+            return self._step_eager(xb, yb)
+        key = ("train", xb.shape, xb.dtype.str, yb.shape, yb.dtype.str)
+        cached = self._train_plans.lookup(key)
+        if isinstance(cached, StepPlan):
+            reason = cached.invalid_reason()
+            if reason is None:
+                self.optimizer.zero_grad()
+                loss_arr, logits_arr = cached.run(xb, yb)
+                acc = float((logits_arr.argmax(1) == yb).mean())
+                return float(loss_arr), acc, 0.0
+            # Stale within the same generation (engine config / parameter
+            # shape changed under us): drop it and recapture this batch.
+            self._train_plans.drop(key)
+            cached = None
+        if isinstance(cached, str):
+            # Capture already failed for this shape in this generation; a
+            # retry would fail the same way, so stay eager until the next
+            # reconfiguration clears the cache.
+            return self._step_eager(xb, yb)
+        # Miss: capture this batch.  The capture *is* an eager step (same
+        # kernels, same results), so we finish it as one — backprop through
+        # the recorded tensors — and replay starts next batch.  Never re-run
+        # the forward: BN running stats were already updated in place.
+        self.optimizer.zero_grad()
+        plan, loss_t, logits_t, reason = capture_training_step(
+            self.model, xb, yb)
+        if plan is not None:
+            self._train_plans.store(key, plan)
+        else:
+            self._train_plans.store(key, reason or "capture failed")
+            self._note_fallback(reason)
+        loss_t.backward()
+        acc = float((logits_t.data.argmax(1) == yb).mean())
+        return loss_t.item(), acc, 0.0
 
     def _step_parallel(self, xb: np.ndarray, yb: np.ndarray
                        ) -> tuple[float, float, float]:
@@ -293,10 +366,38 @@ class Trainer:
             for lo in range(0, n, self.cfg.eval_batch):
                 xb = self.val_set.x[lo:lo + self.cfg.eval_batch]
                 yb = self.val_set.y[lo:lo + self.cfg.eval_batch]
-                logits = self.model(Tensor(xb))
-                correct += int((logits.data.argmax(1) == yb).sum())
+                if self._compile_active():
+                    logits_arr = self._forward_compiled(xb)
+                else:
+                    logits_arr = self.model(Tensor(xb)).data
+                correct += int((logits_arr.argmax(1) == yb).sum())
         self.model.train(was_training)
         return correct / n
+
+    def _forward_compiled(self, xb: np.ndarray) -> np.ndarray:
+        """Inference logits via a cached forward-only plan (eval mode).
+
+        Captured with the model in eval mode, so BN uses running stats; the
+        plan reads them through in-place views, and any surgery or restore
+        that reassigns them bumps the plan generation.
+        """
+        key = ("eval", xb.shape, xb.dtype.str)
+        cached = self._eval_plans.lookup(key)
+        if isinstance(cached, StepPlan):
+            reason = cached.invalid_reason()
+            if reason is None:
+                return cached.run_forward(xb)
+            self._eval_plans.drop(key)
+            cached = None
+        if isinstance(cached, str):
+            return self.model(Tensor(xb)).data
+        plan, logits_t, reason = capture_forward(self.model, xb)
+        if plan is not None:
+            self._eval_plans.store(key, plan)
+        else:
+            self._eval_plans.store(key, reason or "capture failed")
+            self._note_fallback(reason)
+        return logits_t.data
 
     # -- instrumentation ------------------------------------------------------
     def _make_record(self, epoch: int, train_loss: float, train_acc: float,

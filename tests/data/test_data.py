@@ -167,3 +167,53 @@ def test_property_loader_batch_sizes(n, bs):
     assert sum(sizes) == n
     assert all(s == bs for s in sizes[:-1])
     assert sizes[-1] <= bs
+
+
+class TestAugmenterNoiseBuffer:
+    """The noise path samples into reusable buffers: no fresh full-batch
+    float64 allocation per call, no dtype drift, and values bit-identical
+    to the original ``rng.normal(...).astype(dtype)`` formulation (resume
+    checkpoints replay the same RNG stream either way)."""
+
+    def _x(self, n=16, dtype=np.float32):
+        return np.random.default_rng(0).standard_normal(
+            (n, 3, 8, 8)).astype(dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_dtype_stable(self, dtype):
+        aug = Augmenter(flip=False, max_shift=0, noise_std=0.2)
+        out = aug(self._x(dtype=dtype), np.random.default_rng(1))
+        assert out.dtype == dtype
+
+    def test_values_match_reference_formula(self):
+        x = self._x()
+        aug = Augmenter(flip=False, max_shift=0, noise_std=0.3)
+        out = aug(x.copy(), np.random.default_rng(5))
+        ref_rng = np.random.default_rng(5)
+        ref = x.copy()
+        ref += ref_rng.normal(0.0, 0.3, size=x.shape).astype(x.dtype)
+        assert np.array_equal(out, ref)
+
+    def test_rng_stream_position_unchanged(self):
+        """Buffered sampling consumes exactly the same stream as before."""
+        r1, r2 = np.random.default_rng(9), np.random.default_rng(9)
+        aug = Augmenter(flip=False, max_shift=0, noise_std=0.1)
+        aug(self._x(), r1)
+        r2.normal(0.0, 0.1, size=self._x().shape)
+        assert np.array_equal(r1.random(8), r2.random(8))
+
+    def test_buffers_reused_across_calls(self):
+        aug = Augmenter(flip=False, max_shift=0, noise_std=0.1)
+        rng = np.random.default_rng(2)
+        aug(self._x(), rng)
+        b64, bcast = aug._noise64, aug._noise_cast
+        aug(self._x(), rng)
+        assert aug._noise64 is b64 and aug._noise_cast is bcast
+        # shape change (batch growth / tail batch) resizes, then re-reuses
+        aug(self._x(n=8), rng)
+        assert aug._noise64.shape == (8, 3, 8, 8)
+
+    def test_float64_skips_cast_buffer(self):
+        aug = Augmenter(flip=False, max_shift=0, noise_std=0.1)
+        aug(self._x(dtype=np.float64), np.random.default_rng(3))
+        assert aug._noise_cast is None

@@ -1,0 +1,246 @@
+"""Compiled step plans: capture/replay bit-exactness, invalidation, fallback.
+
+The contract under test (repro.tensor.compile): a StepPlan captured from one
+eager step replays the *identical* floating-point computation — losses,
+parameter gradients, BN running stats, everything — as a flat list of kernel
+thunks, and retires itself (``invalid_reason``) whenever the network is
+reconfigured, the engine switchboard changes, or parameter shapes move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import resnet20
+from repro.nn.module import Module
+from repro.optim import SGD
+from repro.tensor import Tensor, functional as F, no_grad, workspace
+from repro.tensor.compile import (STATS, PlanCache, StepPlan, Tape,
+                                  capture_forward, capture_training_step)
+
+
+def _model(seed=3):
+    return resnet20(6, width_mult=0.25, input_hw=8, seed=seed)
+
+
+def _batch(rng, n=8):
+    x = rng.standard_normal((n, 3, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 6, size=n)
+    return x, y
+
+
+def _eager_step(model, opt, x, y):
+    logits = model(Tensor(x))
+    loss = F.cross_entropy(logits, y)
+    opt.zero_grad()
+    loss.backward()
+    opt.step()
+    return float(loss.data), logits.data.copy()
+
+
+class TestTrainPlanBitExact:
+    def test_replay_matches_eager_exactly(self):
+        """Losses, params, and momentum identical over a multi-step run."""
+        rng = np.random.default_rng(0)
+        batches = [_batch(rng) for _ in range(4)]
+
+        m_e = _model()
+        o_e = SGD(m_e.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4)
+        losses_e = [_eager_step(m_e, o_e, x, y)[0] for x, y in batches]
+
+        m_c = _model()
+        o_c = SGD(m_c.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4)
+        x0, y0 = batches[0]
+        o_c.zero_grad()
+        plan, loss_t, logits_t, reason = capture_training_step(m_c, x0, y0)
+        assert reason is None and isinstance(plan, StepPlan)
+        loss_t.backward()
+        o_c.step()
+        losses_c = [float(loss_t.data)]
+        for x, y in batches[1:]:
+            assert plan.invalid_reason() is None
+            o_c.zero_grad()
+            loss_arr, _ = plan.run(x, y)
+            o_c.step()
+            losses_c.append(float(loss_arr))
+
+        assert losses_e == losses_c
+        for (n, pe), (_, pc) in zip(m_e.named_parameters(),
+                                    m_c.named_parameters()):
+            assert np.array_equal(pe.data, pc.data), n
+            assert np.array_equal(o_e.state_for(pe), o_c.state_for(pc)), n
+
+    def test_bn_running_stats_track_eager(self):
+        """Replay updates BN EMA in place exactly as the eager step does."""
+        rng = np.random.default_rng(1)
+        batches = [_batch(rng) for _ in range(3)]
+        m_e, m_c = _model(), _model()
+        o_e = SGD(m_e.parameters(), lr=0.05)
+        o_c = SGD(m_c.parameters(), lr=0.05)
+        for x, y in batches:
+            _eager_step(m_e, o_e, x, y)
+        x0, y0 = batches[0]
+        o_c.zero_grad()
+        plan, loss_t, _, _ = capture_training_step(m_c, x0, y0)
+        loss_t.backward()
+        o_c.step()
+        for x, y in batches[1:]:
+            o_c.zero_grad()
+            plan.run(x, y)
+            o_c.step()
+        se, sc = m_e.state_dict(), m_c.state_dict()
+        assert se.keys() == sc.keys()
+        for k in se:
+            assert np.array_equal(se[k], sc[k]), k
+
+    def test_logits_and_grads_match_single_replay(self):
+        rng = np.random.default_rng(2)
+        x, y = _batch(rng)
+        x2, y2 = _batch(rng)
+        m_e, m_c = _model(), _model()
+        # warm both models one eager step so replay hits non-capture state
+        logits_e = m_e(Tensor(x2))
+        loss_e = F.cross_entropy(logits_e, y2)
+        m_e.zero_grad()
+        loss_e.backward()
+
+        plan, loss_t, _, reason = capture_training_step(m_c, x2, y2)
+        assert reason is None
+        loss_t.backward()
+        assert float(loss_t.data) == float(loss_e.data)
+        m_c.zero_grad()
+        loss_arr, logits_arr = plan.run(x2, y2)
+        assert np.array_equal(loss_arr, loss_e.data)
+        assert np.array_equal(logits_arr, logits_e.data)
+        for (n, pe), (_, pc) in zip(m_e.named_parameters(),
+                                    m_c.named_parameters()):
+            assert pe.grad is not None and pc.grad is not None, n
+            assert np.array_equal(pe.grad, pc.grad), n
+
+
+class TestForwardPlan:
+    def test_eval_replay_matches_eager(self):
+        rng = np.random.default_rng(3)
+        x, _ = _batch(rng)
+        x2, _ = _batch(rng)
+        model = _model()
+        model.eval()
+        plan, logits_t, reason = capture_forward(model, x)
+        assert reason is None and plan.kind == "forward"
+        with no_grad():
+            ref = model(Tensor(x2)).data
+        out = plan.run_forward(x2)
+        assert np.array_equal(out, ref)
+        assert np.array_equal(logits_t.data, plan.run_forward(x))
+
+
+class TestInvalidation:
+    def test_generation_bump_retires_plan(self):
+        rng = np.random.default_rng(4)
+        x, y = _batch(rng)
+        plan, loss_t, _, reason = capture_training_step(_model(), x, y)
+        assert reason is None
+        loss_t.backward()
+        assert plan.invalid_reason() is None
+        workspace.invalidate()          # what channel surgery calls
+        assert "reconfigured" in plan.invalid_reason()
+
+    def test_engine_config_change_retires_plan(self):
+        rng = np.random.default_rng(5)
+        x, y = _batch(rng)
+        plan, loss_t, _, _ = capture_training_step(_model(), x, y)
+        loss_t.backward()
+        assert plan.invalid_reason() is None
+        # flip one switchboard field directly (baseline_engine() would be a
+        # no-op when the suite already runs the baseline configuration)
+        old = workspace.config.fused_bnrelu
+        workspace.config.fused_bnrelu = not old
+        try:
+            assert "engine configuration" in plan.invalid_reason()
+        finally:
+            workspace.config.fused_bnrelu = old
+        assert plan.invalid_reason() is None
+
+    def test_parameter_shape_change_retires_plan(self):
+        rng = np.random.default_rng(6)
+        x, y = _batch(rng)
+        model = _model()
+        plan, loss_t, _, _ = capture_training_step(model, x, y)
+        loss_t.backward()
+        p = model.parameters()[0]
+        old = p.data
+        p.data = old[:-1]               # simulate surgery without invalidate
+        assert "parameter shape" in plan.invalid_reason()
+        p.data = old
+
+    def test_load_state_dict_bumps_generation(self):
+        model = _model()
+        state = model.state_dict()
+        gen = workspace.PLAN_GENERATION
+        model.load_state_dict(state)
+        assert workspace.PLAN_GENERATION > gen
+
+
+class TestFallback:
+    def test_unrecorded_op_fails_capture_cleanly(self):
+        """A graph op without a capture hook falls back, never crashes."""
+
+        class Scaled(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = _model()
+
+            def forward(self, x):
+                return self.inner(x) * 2.0   # __mul__ has no capture hook
+
+        rng = np.random.default_rng(7)
+        x, y = _batch(rng)
+        STATS.reset()
+        plan, loss_t, logits_t, reason = capture_training_step(
+            Scaled(), x, y)
+        assert plan is None and reason
+        assert STATS.fallbacks == 1
+        assert STATS.last_fallback_reason == reason
+        # the capture batch is still a perfectly good eager step
+        loss_t.backward()
+        assert logits_t.data.shape == (8, 6)
+
+    def test_nested_capture_raises(self):
+        with Tape():
+            with pytest.raises(RuntimeError):
+                Tape().__enter__()
+        # outer context exited cleanly: a fresh capture works again
+        rng = np.random.default_rng(8)
+        x, y = _batch(rng)
+        plan, loss_t, _, reason = capture_training_step(_model(), x, y)
+        assert reason is None
+        loss_t.backward()
+
+
+class TestPlanCache:
+    def test_store_lookup_and_sentinels(self):
+        cache = PlanCache()
+        cache.store(("train", (8, 3, 8, 8)), "unsupported op")
+        assert cache.lookup(("train", (8, 3, 8, 8))) == "unsupported op"
+        assert cache.lookup(("train", (16, 3, 8, 8))) is None
+        assert len(cache) == 1
+
+    def test_generation_bump_clears(self):
+        cache = PlanCache()
+        cache.store(("k",), "x")
+        workspace.invalidate_plans()
+        assert cache.lookup(("k",)) is None
+        assert len(cache) == 0
+
+    def test_drop(self):
+        cache = PlanCache()
+        cache.store(("k",), "x")
+        cache.drop(("k",))
+        assert cache.lookup(("k",)) is None
+
+
+def test_stats_surface_in_profiler_summary():
+    from repro.profiler import PROFILER
+    assert "_plans" in PROFILER.summary()
+    d = STATS.as_dict()
+    assert set(d) == {"captures", "capture_seconds", "replays",
+                      "replay_seconds", "fallbacks", "last_fallback_reason"}

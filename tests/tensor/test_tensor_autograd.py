@@ -212,3 +212,54 @@ def test_property_mul_grad_matches_operand(a):
     (ta * tb).sum().backward()
     np.testing.assert_allclose(ta.grad, tb.data, rtol=1e-5)
     np.testing.assert_allclose(tb.grad, ta.data, rtol=1e-5)
+
+
+class TestGraphReleasedAfterBackward:
+    """backward() must drop parent links and closures as it walks the tape,
+    so the whole graph (and every activation it pins) becomes collectable
+    the moment the step's local references go away."""
+
+    def test_interior_nodes_unreachable(self):
+        # Tensor defines __slots__ without __weakref__, so reachability is
+        # checked through the garbage collector's live-object list instead
+        # of weak references.
+        import gc
+
+        from repro.tensor import functional as F
+
+        gc.collect()
+        before = {id(o) for o in gc.get_objects() if isinstance(o, Tensor)}
+
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.standard_normal((8, 3, 3, 3)).astype(np.float32) * 0.1,
+                   requires_grad=True)
+        wl = Tensor(rng.standard_normal((6, 8 * 8 * 8))
+                    .astype(np.float32) * 0.1, requires_grad=True)
+        bl = Tensor(np.zeros(6, np.float32), requires_grad=True)
+        h = F.relu(F.conv2d(x, w, None, padding=1))
+        flat = h.reshape(4, -1)
+        logits = F.linear(flat, wl, bl)
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        loss.backward()
+        assert w.grad is not None
+        keep = {id(t) for t in (x, w, wl, bl)}
+        del h, flat, logits, loss
+        gc.collect()
+        leaked = [o for o in gc.get_objects()
+                  if isinstance(o, Tensor)
+                  and id(o) not in keep and id(o) not in before]
+        assert not leaked, \
+            "backward() left the autograd graph reachable"
+
+    def test_node_fields_cleared_in_place(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        c = a + b
+        s = c.sum()
+        s.backward()
+        for node in (c, s):
+            assert node._backward is None
+            assert node._parents == ()
+        # leaves keep their identity (and their grads)
+        np.testing.assert_allclose(a.grad, [1, 1])

@@ -1,0 +1,105 @@
+"""Compiled stepping is bit-exact across a full PruneTrain run.
+
+The acceptance bar for ``TrainerConfig(compile_step=True)``: a run that
+prunes channels, removes a layer, grows the mini-batch, and is killed and
+resumed from a format-v2 checkpoint mid-phase must produce *identical* bits
+— every EpochRecord scalar, every parameter, every momentum buffer — to the
+same run stepped eagerly.  Capture/recapture points (run start, each
+reconfiguration, each batch-size change, resume) are exactly where the
+eager and compiled executions may diverge if the plan machinery is wrong,
+so the fixture is built to hit all of them (same dynamics as
+tests/train/test_resume.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import MemoryModel, iteration_memory_bytes
+from repro.data import make_synthetic
+from repro.distributed import DynamicBatchAdjuster
+from repro.io import checkpoint_path
+from repro.nn import resnet20
+from repro.tensor.compile import STATS
+from repro.train import PruneTrainConfig, PruneTrainTrainer
+
+from .test_resume import assert_logs_identical, assert_models_identical
+
+
+@pytest.fixture(scope="module")
+def data():
+    train = make_synthetic(10, 192, hw=8, noise=0.8, seed=0, name="t")
+    val = make_synthetic(10, 96, hw=8, noise=0.8, seed=1, name="v")
+    return train, val
+
+
+def _trainer(data, ckpt_dir, compile_step):
+    train, val = data
+    model = resnet20(10, width_mult=0.375, input_hw=8, seed=0)
+    # nudge one residual-path conv toward death so the first
+    # reconfiguration also removes layers
+    model.graph.conv_by_name("s2b1.conv1").conv.weight.data *= 0.02
+    cfg = PruneTrainConfig(
+        epochs=6, batch_size=32, augment=True, log_every=0,
+        penalty_ratio=0.3, reconfig_interval=2, lambda_scale=400.0,
+        threshold=None, zero_sparse=True,
+        checkpoint_every=1, checkpoint_dir=ckpt_dir, checkpoint_keep=0,
+        compile_step=compile_step)
+    cap = iteration_memory_bytes(model.graph, 32) * 4
+    adjuster = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
+                                    max_batch=128)
+    return PruneTrainTrainer(model, train, val, cfg,
+                             batch_adjuster=adjuster,
+                             track_convs=("s0b0.conv1",))
+
+
+def _assert_velocities_identical(t1, t2):
+    for (n, p1), (_, p2) in zip(t1.model.named_parameters(),
+                                t2.model.named_parameters()):
+        assert np.array_equal(t1.optimizer.state_for(p1),
+                              t2.optimizer.state_for(p2)), f"{n} velocity"
+
+
+class TestCompiledPruneTrainBitExact:
+    @pytest.fixture(scope="class")
+    def runs(self, data, tmp_path_factory):
+        eager = _trainer(data, str(tmp_path_factory.mktemp("eager")),
+                         compile_step=False)
+        log_eager = eager.train()
+        STATS.reset()
+        compiled = _trainer(data, str(tmp_path_factory.mktemp("compiled")),
+                            compile_step=True)
+        log_compiled = compiled.train()
+        return eager, log_eager, compiled, log_compiled
+
+    def test_run_exercised_every_dynamic(self, runs):
+        eager, log_eager, _, _ = runs
+        assert eager.reports[0].channels_pruned > 0
+        assert eager.reports[0].removed_layers > 0
+        assert log_eager.records[1].batch_size > 32
+        assert eager.lr_scale > 1.0
+
+    def test_compiled_run_actually_replayed(self, runs):
+        assert STATS.captures > 0
+        assert STATS.replays > STATS.captures
+        assert STATS.fallbacks == 0, STATS.last_fallback_reason
+
+    def test_logs_params_velocity_identical(self, runs):
+        eager, log_eager, compiled, log_compiled = runs
+        assert_logs_identical(log_eager, log_compiled)
+        assert_models_identical(eager.model, compiled.model)
+        _assert_velocities_identical(eager, compiled)
+
+    def test_kill_resume_compiled_matches_eager_full(self, runs, data,
+                                                     tmp_path):
+        """Kill the compiled run after epoch 2 (mid-phase: one
+        reconfiguration and the batch growth already happened) and resume
+        a fresh compiled trainer from its checkpoint: the stitched run
+        must still match the uninterrupted eager run bit-for-bit."""
+        eager, log_eager, compiled, _ = runs
+        ckpt = checkpoint_path(compiled.cfg.checkpoint_dir, 2)
+        resumed = _trainer(data, str(tmp_path / "resumed"),
+                           compile_step=True)
+        log_res = resumed.train(resume_from=ckpt)
+        assert_logs_identical(log_eager, log_res)
+        assert_models_identical(eager.model, resumed.model)
+        _assert_velocities_identical(eager, resumed)
