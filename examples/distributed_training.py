@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Simulated multi-GPU PruneTrain with dynamic mini-batch adjustment.
+"""Multi-process PruneTrain with dynamic mini-batch adjustment.
 
 Reproduces the paper's ImageNet-style deployment in miniature: data-parallel
-workers with ring-allreduce gradient reduction, a device memory-capacity
-model, and PruneTrain's dynamic mini-batch growth (Sec. 4.3) — as pruning
-frees training memory, the per-worker batch grows and the learning rate is
-scaled linearly, cutting model-update communication frequency.
+worker *processes* with ring-allreduce gradient reduction through shared
+memory (the elastic engine — replicas resync bit-exactly after every
+pruning reconfiguration), a device memory-capacity model, and PruneTrain's
+dynamic mini-batch growth (Sec. 4.3) — as pruning frees training memory,
+the per-worker batch grows and the learning rate is scaled linearly,
+cutting model-update communication frequency.
 
-Usage:  python examples/distributed_training.py
+Pass ``--sim`` to use the in-process simulation instead (same results, bit
+for bit — that equivalence is the elastic engine's acceptance test).
+
+Usage:  python examples/distributed_training.py [--sim]
 """
+
+import sys
 
 from repro.costmodel import MemoryModel, iteration_memory_bytes
 from repro.data import make_synthetic
@@ -34,7 +41,8 @@ def main() -> None:
 
     cfg = PruneTrainConfig(
         epochs=10, batch_size=start_batch, augment=False, log_every=2,
-        workers=2,               # simulated data-parallel workers
+        workers=2,               # data-parallel worker processes
+        dist_engine="sim" if "--sim" in sys.argv[1:] else "elastic",
         penalty_ratio=0.25, reconfig_interval=2,
         lambda_mode="rate", threshold=None, zero_sparse=True)
     trainer = PruneTrainTrainer(model, train, val, cfg,

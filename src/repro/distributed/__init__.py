@@ -1,13 +1,18 @@
-"""Simulated data-parallel training: executable ring allreduce, multi-worker
-gradient steps, and PruneTrain's dynamic mini-batch adjustment."""
+"""Data-parallel training: executable ring allreduce, the in-process
+multi-worker simulation, the elastic multi-process engine with fault
+injection, and PruneTrain's dynamic mini-batch adjustment."""
 
 from .allreduce import (AllreduceTrace, allreduce_gradient_lists,
                         ring_allreduce)
+from .elastic import (ElasticEngine, ElasticStepResult, FailureEvent,
+                      FaultAction, FaultPlan)
 from .minibatch import BatchAdjustment, DynamicBatchAdjuster
 from .worker import StepResult, data_parallel_step
 
 __all__ = [
     "ring_allreduce", "allreduce_gradient_lists", "AllreduceTrace",
     "data_parallel_step", "StepResult",
+    "ElasticEngine", "ElasticStepResult",
+    "FaultPlan", "FaultAction", "FailureEvent",
     "DynamicBatchAdjuster", "BatchAdjustment",
 ]

@@ -47,11 +47,22 @@ def data_parallel_step(model: Module, x: np.ndarray, y: np.ndarray,
     regularization terms per worker (e.g. group lasso; applied as gradient
     addition afterwards is the trainers' job — the hook here is for logging).
 
-    Returns the step result and the per-worker shard sizes.
+    ``workers`` is clamped to ``len(x)``: with more workers than samples
+    some shards would be empty, and a skipped shard must not silently
+    change the gradient-average divisor (every participating worker's
+    shard carries equal weight).  An empty batch is an error — there is
+    nothing to compute a gradient from.
+
+    Returns the step result and the per-worker shard sizes (of the
+    participating workers only).
     """
     n = len(x)
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if n == 0:
+        raise ValueError("data_parallel_step got an empty batch "
+                         "(len(x) == 0): no gradients to compute")
+    workers = min(workers, n)
     params = model.parameters()
     shard_bounds = np.linspace(0, n, workers + 1).astype(int)
 
@@ -60,7 +71,7 @@ def data_parallel_step(model: Module, x: np.ndarray, y: np.ndarray,
     total_correct = 0
     for w in range(workers):
         lo, hi = shard_bounds[w], shard_bounds[w + 1]
-        if hi <= lo:
+        if hi <= lo:  # pragma: no cover - impossible after the clamp
             continue
         xb, yb = x[lo:hi], y[lo:hi]
         model.zero_grad()

@@ -1,9 +1,11 @@
 """Persistence: checkpoints that survive dynamic reconfiguration."""
 
-from .checkpoint import (FORMAT_VERSION, checkpoint_path, latest_checkpoint,
-                         load_checkpoint, prune_old_checkpoints, read_meta,
-                         restore_checkpoint, save_checkpoint)
+from .checkpoint import (FORMAT_VERSION, checkpoint_path, dumps_state,
+                         latest_checkpoint, load_checkpoint, loads_state,
+                         prune_old_checkpoints, read_meta, restore_checkpoint,
+                         save_checkpoint)
 
 __all__ = ["save_checkpoint", "load_checkpoint", "restore_checkpoint",
+           "dumps_state", "loads_state",
            "latest_checkpoint", "checkpoint_path", "prune_old_checkpoints",
            "read_meta", "FORMAT_VERSION"]

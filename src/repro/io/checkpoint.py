@@ -40,6 +40,7 @@ is irrelevant at that point — the weights come from the checkpoint.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import re
@@ -73,19 +74,13 @@ def _atomic_savez(path: str, arrays: Dict[str, np.ndarray]) -> None:
     os.replace(tmp, path)
 
 
-def save_checkpoint(path: str, model: Module,
-                    optimizer: Optional[SGD] = None,
-                    extra: Optional[Dict] = None,
-                    train_state: Optional[Dict] = None,
-                    arrays: Optional[Dict[str, np.ndarray]] = None,
-                    atomic: bool = True) -> None:
-    """Serialize model (+optimizer, +run state) to a single ``.npz`` file.
-
-    ``train_state`` must be JSON-serializable (the trainers build it via
-    :meth:`repro.train.Trainer.save_run_checkpoint`); ``arrays`` holds
-    additional named ndarrays (keys must not collide with the reserved
-    ``state/``, ``momentum/``, ``meta.json`` namespaces).
-    """
+def _pack_blobs(model: Module, optimizer: Optional[SGD] = None,
+                extra: Optional[Dict] = None,
+                train_state: Optional[Dict] = None,
+                arrays: Optional[Dict[str, np.ndarray]] = None
+                ) -> Dict[str, np.ndarray]:
+    """Build the checkpoint's named-array dict (shared by file and bytes
+    serialization — one packing routine, two transports)."""
     graph: ModelGraph = model.graph
     blobs: Dict[str, np.ndarray] = {}
     for name, arr in model.state_dict().items():
@@ -115,6 +110,23 @@ def save_checkpoint(path: str, model: Module,
         if key.startswith(("state/", "momentum/")) or key == "meta.json":
             raise ValueError(f"reserved checkpoint key {key!r}")
         blobs[key] = np.asarray(arr)
+    return blobs
+
+
+def save_checkpoint(path: str, model: Module,
+                    optimizer: Optional[SGD] = None,
+                    extra: Optional[Dict] = None,
+                    train_state: Optional[Dict] = None,
+                    arrays: Optional[Dict[str, np.ndarray]] = None,
+                    atomic: bool = True) -> None:
+    """Serialize model (+optimizer, +run state) to a single ``.npz`` file.
+
+    ``train_state`` must be JSON-serializable (the trainers build it via
+    :meth:`repro.train.Trainer.save_run_checkpoint`); ``arrays`` holds
+    additional named ndarrays (keys must not collide with the reserved
+    ``state/``, ``momentum/``, ``meta.json`` namespaces).
+    """
+    blobs = _pack_blobs(model, optimizer, extra, train_state, arrays)
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     if atomic:
         _atomic_savez(path, blobs)
@@ -122,15 +134,31 @@ def save_checkpoint(path: str, model: Module,
         np.savez(path, **blobs)
 
 
+def dumps_state(model: Module, optimizer: Optional[SGD] = None) -> bytes:
+    """Serialize a checkpoint to bytes (same format as :func:`save_checkpoint`).
+
+    This is the transport the elastic data-parallel engine uses to resync
+    worker replicas after a pruning reconfiguration: the coordinator ships
+    exactly a checkpoint — recorded structure plus every array — so a
+    replica resync is bit-equivalent to a checkpoint round-trip.
+    """
+    buf = io.BytesIO()
+    np.savez(buf, **_pack_blobs(model, optimizer))
+    return buf.getvalue()
+
+
 # -- loading ----------------------------------------------------------------
 
-def _read(path: str):
-    data = np.load(_normalize(path))
+def _parse(data):
     meta = json.loads(bytes(data["meta.json"]).decode())
     if meta["format_version"] not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported checkpoint version "
                          f"{meta['format_version']}")
     return data, meta
+
+
+def _read(path: str):
+    return _parse(np.load(_normalize(path)))
 
 
 def _replay_structure(model: Module, meta: Dict) -> None:
@@ -216,7 +244,28 @@ def restore_checkpoint(path: str, model: Module,
     ``arrays`` maps every non-reserved array key (e.g. ``tracker/...``) to
     its ndarray.
     """
-    data, meta = _read(path)
+    return _restore_into(*_read(path), model, optimizer)
+
+
+def loads_state(blob: bytes, model: Module,
+                optimizer: Optional[SGD] = None
+                ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """In-place restore from bytes produced by :func:`dumps_state`.
+
+    Identical semantics to :func:`restore_checkpoint`, minus the file.
+    Structure replay is *monotone* (spaces only shrink, paths only
+    deactivate under PruneTrain), so the target model may be either the
+    original dense architecture or any earlier point of the same pruning
+    trajectory — which is exactly the state of an elastic worker's replica
+    at resync time.
+    """
+    return _restore_into(*_parse(np.load(io.BytesIO(blob))), model,
+                         optimizer)
+
+
+def _restore_into(data, meta: Dict, model: Module,
+                  optimizer: Optional[SGD] = None
+                  ) -> Tuple[Dict, Dict[str, np.ndarray]]:
     _replay_structure(model, meta)
     _load_model_arrays(model, data)
     if optimizer is not None:

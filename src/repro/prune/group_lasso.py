@@ -104,8 +104,12 @@ class GroupLasso:
         raw = self.raw_loss()
         if raw <= 0.0:
             raise ValueError("regularizer is identically zero; no groups?")
-        self.lam = penalty_ratio * classification_loss / (
-            (1.0 - penalty_ratio) * raw)
+        # Canonicalize to a Python float: λ multiplies float32 gradient
+        # arrays, where a same-valued np.float64 promotes differently
+        # (NEP 50), and it round-trips through JSON checkpoint state — both
+        # demand one canonical scalar type for bit-exact runs.
+        self.lam = float(penalty_ratio * classification_loss / (
+            (1.0 - penalty_ratio) * raw))
         return self.lam
 
     # -- gradient ------------------------------------------------------------

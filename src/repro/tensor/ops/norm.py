@@ -34,6 +34,23 @@ import numpy as np
 from .. import workspace as ws
 from ..workspace import config
 
+#: Optional observer called as ``sink(running_mean, mu, var)`` on every
+#: *training-mode* BN forward, with the layer's running-mean array (an
+#: identity key — each BN layer owns a distinct array object) and the batch
+#: statistics just computed.  The elastic data-parallel worker processes
+#: (:mod:`repro.distributed.elastic`) use this to ship per-shard BN
+#: statistics back to the coordinator, which replays the running-stat
+#: updates on its authoritative model in shard order — reproducing the
+#: in-process simulation's sequential updates bit-exactly.  ``None``
+#: (default) costs one attribute check per BN forward.
+_BN_STATS_SINK = None
+
+
+def set_bn_stats_sink(sink) -> None:
+    """Install (or clear, with ``None``) the training BN statistics observer."""
+    global _BN_STATS_SINK
+    _BN_STATS_SINK = sink
+
 
 def _batch_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Per-channel mean and (biased) variance over (N, H, W)."""
@@ -60,6 +77,8 @@ def batchnorm_forward(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
     """
     if training:
         mu, var = _batch_stats(x)
+        if _BN_STATS_SINK is not None:
+            _BN_STATS_SINK(running_mean, mu, var)
         running_mean *= 1.0 - momentum
         running_mean += momentum * mu
         running_var *= 1.0 - momentum

@@ -38,6 +38,12 @@ class EpochRecord:
     channel_sparsity: float = 0.0
     removed_layers: int = 0
     wall_time: float = 0.0
+    #: elastic data parallelism (populated when ``workers > 1``): coordinator
+    #: wall time lost waiting on stragglers this epoch, workers alive at
+    #: epoch end, and cumulative failures detected so far in the run
+    dist_stall_time: float = 0.0
+    dist_active_workers: int = 0
+    dist_failures: int = 0
     #: measured per-op wall time / bytes for this epoch (only populated when
     #: the trainer runs with ``profile=True``; see :mod:`repro.profiler`)
     op_profile: Dict[str, Dict[str, float]] = field(default_factory=dict)

@@ -86,6 +86,17 @@ class TrainerConfig:
     #: data-parallel step has its own execution path); any capture failure
     #: falls back to eager with a logged reason.
     compile_step: Optional[bool] = None
+    #: multi-worker execution backend for ``workers > 1``: ``"elastic"``
+    #: spawns true worker *processes* exchanging gradients through shared
+    #: memory (:class:`repro.distributed.ElasticEngine` — fault-tolerant,
+    #: bit-identical to the simulation when fault-free), ``"sim"`` keeps the
+    #: in-process sequential simulation (:func:`data_parallel_step`).
+    dist_engine: str = "elastic"
+    #: elastic only: evict a worker whose heartbeat is older than this
+    dist_heartbeat_timeout: float = 30.0
+    #: elastic only: optional :class:`repro.distributed.FaultPlan` scripting
+    #: deterministic worker failures (testing / resilience drills)
+    dist_fault_plan: Optional[object] = None
 
 
 class Trainer:
@@ -130,6 +141,14 @@ class Trainer:
         self._train_plans = PlanCache()
         self._eval_plans = PlanCache()
         self._fallback_reasons: set = set()
+        if self.cfg.dist_engine not in ("elastic", "sim"):
+            raise ValueError(
+                f"dist_engine must be 'elastic' or 'sim', "
+                f"got {self.cfg.dist_engine!r}")
+        #: lazy ElasticEngine (forked at the first parallel step so replicas
+        #: start from the run's actual initial/restored weights)
+        self._elastic = None
+        self._epoch_stall = 0.0
 
     # -- hooks (overridden by subclasses) -----------------------------------
     def on_run_start(self) -> None:
@@ -204,10 +223,29 @@ class Trainer:
         acc = float((logits_t.data.argmax(1) == yb).mean())
         return loss_t.item(), acc, 0.0
 
+    def _elastic_engine(self):
+        if self._elastic is None:
+            from ..distributed.elastic import ElasticEngine
+            self._elastic = ElasticEngine(
+                self.model, self.cfg.workers,
+                heartbeat_timeout=self.cfg.dist_heartbeat_timeout,
+                fault_plan=self.cfg.dist_fault_plan)
+        return self._elastic
+
     def _step_parallel(self, xb: np.ndarray, yb: np.ndarray
                        ) -> tuple[float, float, float]:
+        if self.cfg.dist_engine == "elastic":
+            r = self._elastic_engine().step(xb, yb)
+            self._epoch_stall += r.stall_seconds
+            return r.loss, r.accuracy, r.comm_bytes_per_worker
         res, _ = data_parallel_step(self.model, xb, yb, self.cfg.workers)
         return res.loss, res.accuracy, res.comm_bytes_per_worker
+
+    def shutdown(self) -> None:
+        """Release the elastic worker pool (idempotent; no-op otherwise)."""
+        if self._elastic is not None:
+            self._elastic.shutdown()
+            self._elastic = None
 
     def train(self, resume_from: Optional[str] = None) -> RunLog:
         """Run the full training loop; returns the populated :class:`RunLog`.
@@ -226,49 +264,53 @@ class Trainer:
             self.on_run_start()
         if self.cfg.profile:
             PROFILER.enable(reset=True)
-        for epoch in range(start_epoch, self.cfg.epochs):
-            if self.cfg.profile:
-                PROFILER.reset()
-            t0 = time.perf_counter()
-            self.model.train()
-            base_lr = self.schedule.lr_at(epoch)
-            self.optimizer.lr = base_lr * self.lr_scale
-            losses, accs = [], []
-            comm_epoch = 0.0
-            flops_per_sample = training_flops_per_sample(self.model.graph)
-            for xb, yb in self.loader:
-                if self.cfg.workers > 1:
-                    loss, acc, comm = self._step_parallel(xb, yb)
-                else:
-                    loss, acc, comm = self._step_single(xb, yb)
-                if not self._first_batch_done:
-                    self.on_first_batch(loss)
-                    self._first_batch_done = True
-                reg = self.post_backward()
-                self.optimizer.step()
-                losses.append(loss)
-                accs.append(acc)
-                comm_epoch += comm
-                self._cum_flops += flops_per_sample * len(yb)
-            self.on_epoch_end(epoch)
-            # Snapshot the profiler *before* evaluation (inside
-            # ``_make_record``) so the per-epoch op profile covers the
-            # training phase only — evaluation + BN recalibration would
-            # otherwise inflate the counts.
-            if self.cfg.profile:
-                train_profile = PROFILER.summary()
-            rec = self._make_record(epoch, float(np.mean(losses)),
-                                    float(np.mean(accs)), comm_epoch)
-            rec.wall_time = time.perf_counter() - t0
-            if self.cfg.profile:
-                rec.op_profile = train_profile
-            self.log.append(rec)
-            self._maybe_checkpoint(epoch)
-            if self.cfg.log_every and (epoch % self.cfg.log_every == 0):
-                print(f"[{self.method_name}] ep{epoch:3d} "
-                      f"loss {rec.train_loss:.3f} val {rec.val_acc:.3f} "
-                      f"infF {rec.inference_flops/1e6:.2f}M "
-                      f"batch {rec.batch_size}")
+        try:
+            for epoch in range(start_epoch, self.cfg.epochs):
+                if self.cfg.profile:
+                    PROFILER.reset()
+                t0 = time.perf_counter()
+                self._epoch_stall = 0.0
+                self.model.train()
+                base_lr = self.schedule.lr_at(epoch)
+                self.optimizer.lr = base_lr * self.lr_scale
+                losses, accs = [], []
+                comm_epoch = 0.0
+                flops_per_sample = training_flops_per_sample(self.model.graph)
+                for xb, yb in self.loader:
+                    if self.cfg.workers > 1:
+                        loss, acc, comm = self._step_parallel(xb, yb)
+                    else:
+                        loss, acc, comm = self._step_single(xb, yb)
+                    if not self._first_batch_done:
+                        self.on_first_batch(loss)
+                        self._first_batch_done = True
+                    reg = self.post_backward()
+                    self.optimizer.step()
+                    losses.append(loss)
+                    accs.append(acc)
+                    comm_epoch += comm
+                    self._cum_flops += flops_per_sample * len(yb)
+                self.on_epoch_end(epoch)
+                # Snapshot the profiler *before* evaluation (inside
+                # ``_make_record``) so the per-epoch op profile covers the
+                # training phase only — evaluation + BN recalibration would
+                # otherwise inflate the counts.
+                if self.cfg.profile:
+                    train_profile = PROFILER.summary()
+                rec = self._make_record(epoch, float(np.mean(losses)),
+                                        float(np.mean(accs)), comm_epoch)
+                rec.wall_time = time.perf_counter() - t0
+                if self.cfg.profile:
+                    rec.op_profile = train_profile
+                self.log.append(rec)
+                self._maybe_checkpoint(epoch)
+                if self.cfg.log_every and (epoch % self.cfg.log_every == 0):
+                    print(f"[{self.method_name}] ep{epoch:3d} "
+                          f"loss {rec.train_loss:.3f} val {rec.val_acc:.3f} "
+                          f"infF {rec.inference_flops/1e6:.2f}M "
+                          f"batch {rec.batch_size}")
+        finally:
+            self.shutdown()
         if self.cfg.profile:
             PROFILER.disable()
         return self.log
@@ -420,6 +462,12 @@ class Trainer:
             channel_sparsity=model_channel_sparsity(graph),
             removed_layers=graph.removed_layers(),
         )
+        if self._elastic is not None:
+            rec.dist_stall_time = self._epoch_stall
+            rec.dist_active_workers = self._elastic.active_workers
+            rec.dist_failures = len(self._elastic.failures)
+        elif self.cfg.workers > 1:
+            rec.dist_active_workers = self.cfg.workers
         for dev in self.cfg.device_names:
             rec.epoch_time_model[dev] = epoch_time(
                 graph, len(self.train_set),

@@ -123,6 +123,41 @@ class TestDataParallelStep:
         with pytest.raises(ValueError):
             data_parallel_step(m, ds.x, ds.y, workers=0)
 
+    def test_empty_batch_raises(self):
+        ds = make_synthetic(10, 8, hw=8, seed=0)
+        m = resnet20(10, **SMALL)
+        with pytest.raises(ValueError, match="empty batch"):
+            data_parallel_step(m, ds.x[:0], ds.y[:0], workers=2)
+
+    def test_more_workers_than_samples_clamps(self):
+        """Empty shards must not appear (and must not dilute the average):
+        with workers > n the step runs exactly as with workers = n."""
+        ds = make_synthetic(10, 3, hw=8, seed=0)
+        m8 = resnet20(10, **SMALL, seed=1)
+        res8, shards8 = data_parallel_step(m8, ds.x, ds.y, workers=8)
+        m3 = resnet20(10, **SMALL, seed=1)
+        res3, shards3 = data_parallel_step(m3, ds.x, ds.y, workers=3)
+        assert shards8 == shards3 == [1, 1, 1]
+        assert res8.loss == res3.loss
+        assert res8.accuracy == res3.accuracy
+        assert res8.comm_bytes_per_worker == res3.comm_bytes_per_worker
+        for p8, p3 in zip(m8.parameters(), m3.parameters()):
+            np.testing.assert_array_equal(p8.grad, p3.grad)
+
+    def test_clamped_divisor_matches_single_worker_mean(self):
+        """With n=1 the clamp makes any worker count equal the plain step —
+        a skipped empty shard must not change the gradient divisor."""
+        ds = make_synthetic(10, 1, hw=8, seed=0)
+        mk = resnet20(10, **SMALL, seed=1)
+        resk, shards = data_parallel_step(mk, ds.x, ds.y, workers=4)
+        assert shards == [1]
+        assert resk.comm_bytes_per_worker == 0.0
+        m1 = resnet20(10, **SMALL, seed=1)
+        res1, _ = data_parallel_step(m1, ds.x, ds.y, workers=1)
+        assert resk.loss == res1.loss
+        for pk, p1 in zip(mk.parameters(), m1.parameters()):
+            np.testing.assert_array_equal(pk.grad, p1.grad)
+
     def test_optimizer_step_after_parallel(self):
         ds = make_synthetic(10, 16, hw=8, seed=0)
         m = resnet20(10, **SMALL)
@@ -189,3 +224,41 @@ def test_property_allreduce_preserves_mean(p, n):
     mean_before = np.mean(bufs, axis=0)
     ring_allreduce(bufs)
     np.testing.assert_allclose(bufs[0], mean_before, rtol=1e-9)
+
+
+@given(p=st.integers(2, 8), n=st.integers(1, 300),
+       dtype=st.sampled_from(["float32", "float64"]))
+@settings(max_examples=40, deadline=None)
+def test_property_allreduce_bytes_closed_form(p, n, dtype):
+    """Moved bytes equal 2(P-1)/P * payload *exactly*: every ring step ships
+    each of the P chunks once, whatever the (uneven) chunking."""
+    dt = np.dtype(dtype)
+    rng = np.random.default_rng(p * 100000 + n)
+    bufs = [rng.normal(size=n).astype(dt) for _ in range(p)]
+    trace = ring_allreduce(bufs)
+    assert trace.steps == 2 * (p - 1)
+    assert trace.bytes_per_worker == pytest.approx(
+        ring_allreduce_bytes(n * dt.itemsize, p), rel=1e-12)
+
+
+@given(p=st.integers(2, 8),
+       sizes=st.lists(st.integers(1, 40), min_size=1, max_size=5),
+       dtype=st.sampled_from(["float32", "float64"]))
+@settings(max_examples=40, deadline=None)
+def test_property_gradient_lists_mean_and_bytes(p, sizes, dtype):
+    """Uneven per-parameter payloads, both float widths: every worker ends
+    with the mean, and the byte count matches the fused-payload closed form."""
+    dt = np.dtype(dtype)
+    rng = np.random.default_rng(p * 7919 + sum(sizes) * 31 + dt.itemsize)
+    grads = [[rng.normal(size=s).astype(dt) for s in sizes]
+             for _ in range(p)]
+    expect = [np.mean([grads[w][i] for w in range(p)], axis=0)
+              for i in range(len(sizes))]
+    nbytes = allreduce_gradient_lists(grads)
+    assert nbytes == pytest.approx(
+        ring_allreduce_bytes(sum(sizes) * dt.itemsize, p), rel=1e-12)
+    rtol = 1e-5 if dt == np.float32 else 1e-9
+    for w in range(p):
+        for i in range(len(sizes)):
+            np.testing.assert_allclose(grads[w][i], expect[i],
+                                       rtol=rtol, atol=rtol)

@@ -250,3 +250,49 @@ class TestRestoreCheckpoint:
         with pytest.raises(ValueError, match="reserved"):
             save_checkpoint(str(tmp_path / "ck.npz"), m,
                             arrays={"state/x": np.zeros(2)})
+
+
+class TestInMemoryState:
+    """dumps_state/loads_state — the elastic resync transport — must be
+    bit-equivalent to an on-disk checkpoint round-trip."""
+
+    def test_equivalent_to_file_roundtrip(self, tmp_path):
+        from repro.io import dumps_state, loads_state
+        m = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=4)
+        _sparsify(m)
+        opt = SGD(m.parameters(), 0.1, momentum=0.9)
+        prune_and_reconfigure(m, opt)
+        blob = dumps_state(m, opt)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, m, optimizer=opt)
+
+        via_file = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=9)
+        of = SGD(via_file.parameters(), 0.05)
+        restore_checkpoint(path, via_file, of)
+        via_blob = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=9)
+        ob = SGD(via_blob.parameters(), 0.05)
+        loads_state(blob, via_blob, ob)
+
+        sd_f, sd_b = via_file.state_dict(), via_blob.state_dict()
+        assert sd_f.keys() == sd_b.keys()
+        for k in sd_f:
+            np.testing.assert_array_equal(sd_f[k], sd_b[k], err_msg=k)
+        assert ob.lr == of.lr and ob.momentum == of.momentum
+
+    def test_monotone_replay_onto_partially_pruned_model(self):
+        """A replica at the *previous* configuration is a valid restore
+        target: structure replay only removes, never resurrects."""
+        from repro.io import dumps_state, loads_state
+        src = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=4)
+        replica = resnet50_cifar(10, width_mult=0.25, input_hw=8, seed=4)
+        _sparsify(src, frac=0.3, seed=1)
+        prune_and_reconfigure(src)            # first prune: src only
+        loads_state(dumps_state(src), replica)
+        _sparsify(src, frac=0.3, seed=2)
+        prune_and_reconfigure(src)            # second prune: replica lags
+        loads_state(dumps_state(src), replica)
+        sd_s, sd_r = src.state_dict(), replica.state_dict()
+        assert sd_s.keys() == sd_r.keys()
+        for k in sd_s:
+            np.testing.assert_array_equal(sd_s[k], sd_r[k], err_msg=k)
+        replica.graph.validate()

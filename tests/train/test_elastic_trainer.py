@@ -1,0 +1,154 @@
+"""Trainer-level elastic data parallelism: the differential acceptance test.
+
+An elastic (multi-process) PruneTrain run at K=2 must be bit-identical to
+the in-process simulation at K=2 across a *full* schedule — group lasso,
+channel pruning with layer removal, and dynamic batch growth — while a
+single-worker run differs by design (per-shard batch-norm statistics).
+Fault injection and kill/resume must compose with all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import MemoryModel, iteration_memory_bytes
+from repro.data import make_synthetic
+from repro.distributed import DynamicBatchAdjuster, FaultPlan
+from repro.io import checkpoint_path
+from repro.nn import resnet20
+from repro.train import PruneTrainConfig, PruneTrainTrainer
+
+from .test_resume import (RECORD_FIELDS, assert_logs_identical,
+                          assert_models_identical)
+
+pytestmark = pytest.mark.distributed
+
+
+@pytest.fixture(scope="module")
+def data():
+    train = make_synthetic(10, 192, hw=8, noise=0.8, seed=0, name="t")
+    val = make_synthetic(10, 96, hw=8, noise=0.8, seed=1, name="v")
+    return train, val
+
+
+def make_trainer(data, workers, dist_engine="elastic", epochs=5,
+                 ckpt_dir=None, fault_plan=None, timeout=10.0):
+    """PruneTrain setup whose short run still exercises every dynamic:
+    channel pruning, residual-layer removal, and batch growth."""
+    train, val = data
+    model = resnet20(10, width_mult=0.375, input_hw=8, seed=0)
+    # nudge one residual-path conv toward death so the first
+    # reconfiguration also removes layers
+    model.graph.conv_by_name("s2b1.conv1").conv.weight.data *= 0.02
+    cfg = PruneTrainConfig(
+        epochs=epochs, batch_size=32, augment=True, log_every=0,
+        penalty_ratio=0.3, reconfig_interval=2, lambda_scale=400.0,
+        threshold=None, zero_sparse=True,
+        workers=workers, dist_engine=dist_engine,
+        dist_heartbeat_timeout=timeout, dist_fault_plan=fault_plan,
+        checkpoint_every=1 if ckpt_dir else 0, checkpoint_dir=ckpt_dir,
+        checkpoint_keep=0)
+    cap = iteration_memory_bytes(model.graph, 32) * 4
+    adjuster = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
+                                    max_batch=128)
+    return PruneTrainTrainer(model, train, val, cfg,
+                             batch_adjuster=adjuster)
+
+
+def assert_full_schedule(trainer, log):
+    """The run must actually have pruned channels, removed layers, and
+    grown the batch — otherwise the differential test proves nothing."""
+    assert trainer.reports[0].channels_pruned > 0
+    assert trainer.reports[0].removed_layers > 0
+    assert log.records[-1].batch_size > 32
+
+
+def normalized(log):
+    """RunLog as a dict with the wall-clock-dependent fields zeroed (the
+    only fields allowed to differ between identical invocations)."""
+    d = log.to_dict()
+    for r in d["records"]:
+        r["wall_time"] = 0.0
+        r["dist_stall_time"] = 0.0
+    return d
+
+
+class TestDifferential:
+    def test_elastic_matches_simulation_bit_exact(self, data):
+        """Tentpole acceptance: elastic K=2 == in-process sim K=2, bit for
+        bit, across reconfiguration and batch growth; K=1 differs."""
+        sim = make_trainer(data, workers=2, dist_engine="sim")
+        log_sim = sim.train()
+        assert_full_schedule(sim, log_sim)
+
+        ela = make_trainer(data, workers=2, dist_engine="elastic")
+        log_ela = ela.train()
+        assert_full_schedule(ela, log_ela)
+        assert ela._elastic is None  # pool released by train()
+
+        assert_logs_identical(log_sim, log_ela)
+        assert_models_identical(sim.model, ela.model)
+        assert all(r.dist_failures == 0 for r in log_ela.records)
+        assert all(r.dist_active_workers == 2 for r in log_ela.records)
+
+        # K=1 is a *different* trajectory by design: data-parallel BN uses
+        # per-shard statistics, so the sharded loss differs from epoch one.
+        single = make_trainer(data, workers=1)
+        log_one = single.train()
+        assert log_one.records[0].train_loss != log_sim.records[0].train_loss
+
+    def test_fault_free_run_is_deterministic(self, data):
+        """Two identical elastic invocations produce identical RunLogs
+        (everything but wall time, which is zeroed for comparison)."""
+        a = make_trainer(data, workers=2, epochs=3).train()
+        b = make_trainer(data, workers=2, epochs=3).train()
+        assert normalized(a) == normalized(b)
+
+
+class TestElasticResume:
+    def test_kill_resume_bit_exact_under_elastic(self, data, tmp_path):
+        """Checkpoint/kill/resume composes with the elastic engine: the
+        resumed run re-forks replicas from the restored model and stays on
+        the uninterrupted run's trajectory bit for bit."""
+        d_full = str(tmp_path / "full")
+        full = make_trainer(data, workers=2, ckpt_dir=d_full)
+        log_full = full.train()
+        assert_full_schedule(full, log_full)
+
+        resumed = make_trainer(data, workers=2,
+                               ckpt_dir=str(tmp_path / "resumed"))
+        log_res = resumed.train(resume_from=checkpoint_path(d_full, 2))
+
+        assert_logs_identical(log_full, log_res)
+        assert_models_identical(full.model, resumed.model)
+
+
+class TestTrainerFaults:
+    def test_scripted_failure_degrades_and_completes(self, data):
+        """A worker killed mid-run is recorded in the epoch telemetry and
+        the run still completes (on the survivor) with a pruned model."""
+        plan = FaultPlan().kill(1, at_step=8)
+        tr = make_trainer(data, workers=2, fault_plan=plan, timeout=5.0)
+        log = tr.train()
+        assert log.records[-1].dist_active_workers == 1
+        assert log.records[-1].dist_failures == 1
+        assert tr.reports[0].channels_pruned > 0
+        # telemetry is cumulative: the failure epoch and all later ones
+        # report it, earlier ones do not
+        fail_epochs = [r.epoch for r in log.records if r.dist_failures]
+        assert fail_epochs == list(range(fail_epochs[0],
+                                         len(log.records)))
+
+    def test_scripted_failure_is_reproducible(self, data):
+        """Same fault plan, same run: the degraded trajectory is exactly
+        reproducible (scriptable chaos, deterministic outcome)."""
+        plan = FaultPlan().kill(1, at_step=8)
+        a = make_trainer(data, workers=2, epochs=4, fault_plan=plan,
+                         timeout=5.0).train()
+        plan_b = FaultPlan().kill(1, at_step=8)
+        b = make_trainer(data, workers=2, epochs=4, fault_plan=plan_b,
+                         timeout=5.0).train()
+        assert normalized(a) == normalized(b)
+
+    def test_bad_dist_engine_rejected(self, data):
+        with pytest.raises(ValueError, match="dist_engine"):
+            make_trainer(data, workers=2, dist_engine="nccl")
