@@ -50,6 +50,7 @@ RESULTS_DIR = os.path.join(
     "results")
 OUT_PATH = os.path.join(RESULTS_DIR, "BENCH_engine.json")
 OUT_PATH_COMPILE = os.path.join(RESULTS_DIR, "BENCH_compile.json")
+OUT_PATH_MEMPLAN = os.path.join(RESULTS_DIR, "BENCH_memplan.json")
 
 #: (name, n, c_in, hw, c_out, k, stride, pad) — the conv population of
 #: ResNet-32 at the QUICK scale (hw=12, width_mult=0.375) plus the 1x1
@@ -253,6 +254,158 @@ def run_compile_bench(step_warmup: int = 3, step_iters: int = 5,
     }
 
 
+def _memplan_plan_pair(rng) -> tuple:
+    """Build twin compiled steps, one with the memory planner off/on each.
+
+    Returns ``(plan_on, run_on, peak_on, plan_off, run_off, peak_off)``
+    where the ``peak_*`` entries are tracemalloc peaks (bytes) covering
+    capture + two replays — the allocation cost of building and running
+    each plan layout.
+    """
+    import tracemalloc
+
+    from repro.tensor.compile import capture_training_step
+
+    xb = rng.standard_normal((32, 3, 12, 12), dtype=np.float32)
+    yb = rng.integers(0, 10, size=32)
+
+    def build(mem_plan: bool) -> tuple:
+        saved = workspace.config.mem_plan
+        workspace.config.mem_plan = mem_plan
+        tracemalloc.start()
+        try:
+            m = resnet32(num_classes=10, width_mult=0.375, input_hw=12,
+                         seed=0)
+            o = SGD(m.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+            o.zero_grad()
+            plan, loss_t, _, reason = capture_training_step(m, xb, yb)
+            if plan is None:
+                raise RuntimeError(f"step capture failed: {reason}")
+            loss_t.backward()
+            o.step()
+
+            def run():
+                o.zero_grad()
+                plan.run(xb, yb)
+                o.step()
+
+            for _ in range(2):
+                run()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+            workspace.config.mem_plan = saved
+        return plan, run, peak
+
+    plan_off, run_off, peak_off = build(False)
+    plan_on, run_on, peak_on = build(True)
+    if plan_on.mem_metrics() is None:
+        raise RuntimeError("memory planner did not engage")
+    return plan_on, run_on, peak_on, plan_off, run_off, peak_off
+
+
+def _batch_schedule_pair() -> dict:
+    """Compact PruneTrain run pair: analytical vs measured batch sizing.
+
+    Same model, data, capacity, and schedule; the only difference is the
+    adjuster's capacity signal.  The planner's measured bytes/sample is
+    below the analytical estimate, so at equal capacity the measured
+    schedule must grow the batch at least as fast (paper Sec. 4.3 driven
+    by real footprint).
+    """
+    from repro.costmodel import MemoryModel, iteration_memory_bytes
+    from repro.data import make_synthetic
+    from repro.distributed import DynamicBatchAdjuster
+    from repro.nn import resnet20
+    from repro.train import PruneTrainConfig, PruneTrainTrainer
+
+    def schedule(source: str) -> list:
+        train = make_synthetic(10, 192, hw=16, noise=0.8, seed=0, name="t")
+        val = make_synthetic(10, 64, hw=16, noise=0.8, seed=1, name="v")
+        model = resnet20(10, width_mult=0.375, input_hw=16, seed=0)
+        cfg = PruneTrainConfig(
+            epochs=4, batch_size=32, augment=False, log_every=0,
+            penalty_ratio=0.3, reconfig_interval=2, lambda_scale=400.0,
+            zero_sparse=True)
+        cap = iteration_memory_bytes(model.graph, 32) * 2
+        adj = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
+                                   max_batch=256, source=source)
+        trainer = PruneTrainTrainer(model, train, val, cfg,
+                                    batch_adjuster=adj)
+        log = trainer.train()
+        return [int(r.batch_size) for r in log.records]
+
+    analytical = schedule("analytical")
+    measured = schedule("measured")
+    workspace.invalidate()
+    return {
+        "analytical": analytical,
+        "measured": measured,
+        "measured_ge_analytical": all(m >= a for m, a
+                                      in zip(measured, analytical)),
+    }
+
+
+def run_memplan_bench(step_warmup: int = 3, step_iters: int = 5,
+                      step_rounds: int = 8,
+                      batch_schedule: bool = True) -> dict:
+    """Planner on/off A/B; returns the BENCH_memplan.json payload.
+
+    Compares the PR-3 compiled engine (every plan buffer private) against
+    the arena-planned layout on the acceptance workload: replay speed
+    (interleaved, best-of-N), resident plan footprint (arena vs
+    sum-of-private-buffers), tracemalloc peaks, and — since the layouts
+    must never change values — a bit-identity check of the two replays.
+    """
+    (plan_on, run_on, peak_on,
+     plan_off, run_off, peak_off) = _memplan_plan_pair(
+        np.random.default_rng(1))
+    step = _measure_interleaved_same_engine(
+        run_off, run_on, step_rounds, step_iters, warmup=step_warmup)
+    # Both twins have now replayed the same number of steps from the same
+    # seed, so their next losses must agree to the bit.
+    rng = np.random.default_rng(7)
+    xb = rng.standard_normal((32, 3, 12, 12), dtype=np.float32)
+    yb = rng.integers(0, 10, size=32)
+    loss_on, logits_on = plan_on.run(xb, yb)
+    loss_off, logits_off = plan_off.run(xb, yb)
+    bit_identical = bool(np.array_equal(loss_on, loss_off)
+                         and np.array_equal(logits_on, logits_off))
+    m = plan_on.mem_metrics()
+    pool_cached = workspace.POOL.cached_bytes
+    workspace.invalidate()
+    payload = {
+        "meta": {
+            "workload": "resnet32 @ QUICK scale (hw=12, width_mult=0.375, "
+                        "batch=32)",
+            "before": "compiled StepPlan, private per-buffer layout "
+                      "(planner off)",
+            "after": "compiled StepPlan, liveness-planned shared arena "
+                     "(planner on)",
+            "methodology": "interleaved A/B rounds, best-of-N per side; "
+                           "layouts verified bit-identical",
+        },
+        "train_step": {
+            "warmup_steps": step_warmup, "steps_per_round": step_iters,
+            "rounds": step_rounds, **step,
+        },
+        "memory": {
+            "arena_bytes": int(m["arena_bytes"]),
+            "liveness_peak_bytes": int(m["peak_bytes"]),
+            "plan_private_bytes": int(m["naive_bytes"]),
+            "savings_fraction": round(m["savings"], 4),
+            "alias_buffers": int(m["alias_buffers"]),
+            "tracemalloc_peak_on_bytes": int(peak_on),
+            "tracemalloc_peak_off_bytes": int(peak_off),
+            "pool_cached_bytes": int(pool_cached),
+        },
+        "bit_identical": bit_identical,
+    }
+    if batch_schedule:
+        payload["batch_schedule"] = _batch_schedule_pair()
+    return payload
+
+
 def _measure_pair(make_workload: Callable[[np.random.Generator],
                                           Callable[[], None]],
                   rounds: int, number: int) -> Dict[str, float]:
@@ -336,6 +489,18 @@ def main() -> None:
     print(f"compiled step: {cstep['before_ms']:.1f} ms (eager) -> "
           f"{cstep['after_ms']:.1f} ms (replay) ({cstep['speedup']:.2f}x)")
     print(f"wrote {cpath}")
+
+    memplan_results = run_memplan_bench()
+    mpath = write_results(memplan_results, OUT_PATH_MEMPLAN)
+    mstep = memplan_results["train_step"]
+    mem = memplan_results["memory"]
+    print(f"planned step: {mstep['before_ms']:.1f} ms (private) -> "
+          f"{mstep['after_ms']:.1f} ms (arena) ({mstep['speedup']:.2f}x), "
+          f"{mem['plan_private_bytes'] / 1e6:.1f} MB -> "
+          f"{mem['arena_bytes'] / 1e6:.1f} MB "
+          f"({100 * mem['savings_fraction']:.1f}% saved), "
+          f"bit_identical={memplan_results['bit_identical']}")
+    print(f"wrote {mpath}")
 
 
 if __name__ == "__main__":

@@ -57,3 +57,30 @@ def test_compiled_step_speedup_smoke():
     assert step["before_ms"] > 0 and step["after_ms"] > 0
     assert step["speedup"] > 1.0, (
         f"compiled step slower than eager: {step}")
+
+
+def test_memplan_parity_and_savings_smoke():
+    """Arena-planned plans must match the private layout bit-for-bit,
+    cut the resident plan footprint by >= 20%, and hold step parity.
+
+    The acceptance-grade speed bar (>= 1.0x) is asserted on the committed
+    ``results/BENCH_memplan.json`` from the full bench run; the CI-smoke
+    speed guard allows 10% scheduler noise.  The bit-identity and savings
+    checks are deterministic and asserted at full strength.
+    """
+    results = bench_engine.run_memplan_bench(step_warmup=2, step_iters=3,
+                                             step_rounds=5,
+                                             batch_schedule=False)
+    path = bench_engine.write_results(results,
+                                      bench_engine.OUT_PATH_MEMPLAN)
+    assert os.path.exists(path)
+    with open(path) as fh:
+        written = json.load(fh)
+
+    assert written["bit_identical"], "planner on/off replays diverged"
+    mem = written["memory"]
+    assert mem["arena_bytes"] <= 0.8 * mem["plan_private_bytes"], mem
+    assert mem["liveness_peak_bytes"] <= mem["arena_bytes"]
+    step = written["train_step"]
+    assert step["speedup"] > 0.9, (
+        f"arena-planned step much slower than private layout: {step}")

@@ -50,6 +50,12 @@ class DynamicBatchAdjuster:
     shrink:
         Allow decreasing the batch if memory is exceeded (not needed by
         PruneTrain — pruning only shrinks the model — but kept for safety).
+    source:
+        ``"analytical"`` (default) sizes from the cost-model estimate;
+        ``"measured"`` prefers the memory planner's observed bytes/sample
+        (``MemoryModel.observe``) when one is available.  Keep analytical
+        for bit-exactness studies: a measured schedule depends on whether
+        the planner ran, so planner on/off runs would diverge.
     """
 
     memory_model: MemoryModel
@@ -57,13 +63,19 @@ class DynamicBatchAdjuster:
     max_batch: int = 1024
     lr_rule: str = "linear"
     shrink: bool = False
+    source: str = "analytical"
     history: List[BatchAdjustment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.source not in ("analytical", "measured"):
+            raise ValueError(f"unknown source {self.source!r}")
 
     def propose(self, graph: ModelGraph, current_batch: int
                 ) -> BatchAdjustment:
         """Decide the new per-worker batch after a reconfiguration."""
         fit = self.memory_model.max_batch(graph, self.granularity,
-                                          ceiling=self.max_batch)
+                                          ceiling=self.max_batch,
+                                          measured=self.source == "measured")
         new_batch = max(fit, current_batch) if not self.shrink else fit
         new_batch = min(new_batch, self.max_batch)
         if self.lr_rule == "linear":

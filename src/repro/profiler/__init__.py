@@ -104,22 +104,22 @@ class OpProfiler:
 
     # -- reporting ---------------------------------------------------------
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-op stats plus workspace-pool and step-plan counters."""
+        """Per-op stats plus workspace-pool, step-plan, and memory-planner
+        counters."""
         out = {name: st.as_dict() for name, st in self._stats.items()}
         try:
             from ..tensor import workspace
-            out["_workspace"] = {
-                "hits": workspace.POOL.stats.hits,
-                "misses": workspace.POOL.stats.misses,
-                "bytes_reused": workspace.POOL.stats.bytes_reused,
-                "bytes_allocated": workspace.POOL.stats.bytes_allocated,
-                "invalidations": workspace.POOL.stats.invalidations,
-            }
+            out["_workspace"] = dict(workspace.POOL.stats.as_dict())
         except ImportError:  # pragma: no cover - circular-import guard
             pass
         try:
             from ..tensor import compile as step_compile
             out["_plans"] = step_compile.STATS.as_dict()
+        except ImportError:  # pragma: no cover - circular-import guard
+            pass
+        try:
+            from ..tensor import memplan
+            out["_memplan"] = memplan.STATS.as_dict()
         except ImportError:  # pragma: no cover - circular-import guard
             pass
         return out

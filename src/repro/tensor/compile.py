@@ -53,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from . import memplan as _mp
 from . import workspace as ws
 from .ops import conv as _conv
 from .ops import loss as _loss
@@ -97,6 +98,129 @@ STATS = PlanStats()
 
 class _CaptureError(Exception):
     """Raised by the plan builder when a recorded graph cannot be compiled."""
+
+
+class _Lifetimes:
+    """Def/use intervals for plan-owned buffers on the step timeline.
+
+    Timeline positions: every thunk occupies *two* ticks, so the forward
+    thunk of record ``i`` spans ``[2i, 2i+1]`` (recorded = eager
+    execution order) and backward thunk ``j`` spans
+    ``[2(F+j), 2(F+j)+1]``.  The second tick lets a backward thunk split
+    its scratch into an early phase (the weight-gradient GEMM and its
+    rematerialized columns) and a late phase (the dx staging): the two
+    biggest buffers in a conv backward never coexist, so they share one
+    arena region.  Every buffer request in the builder maps to an
+    inclusive ``[first_def, last_use]`` interval the memory planner
+    (:mod:`repro.tensor.memplan`) can pack against.  Intervals are
+    conservative: a value is kept live through its producer's own
+    backward even when that backward never reads it.
+    """
+
+    def __init__(self, tape: "Tape", bwd_nodes: List[Tensor], kind: str,
+                 loss: Optional[Tensor], logits: Tensor):
+        self.tape = tape
+        self.kind = kind
+        self.fwd_t: Dict[int, int] = {id(rec): 2 * i
+                                      for i, rec in enumerate(tape.records)}
+        n_fwd = len(tape.records)
+        self.bwd_t: Dict[int, int] = {}
+        for j, node in enumerate(bwd_nodes):
+            rec = tape.rec_of[id(node)]
+            self.bwd_t[id(rec)] = 2 * (n_fwd + j)
+        #: one past the last timeline position
+        self.horizon = 2 * (n_fwd + len(bwd_nodes))
+        #: value slot -> records that read it as a forward input
+        self.consumers: Dict[int, List[_Record]] = {}
+        for rec in tape.records:
+            for t in rec.inputs:
+                if t is None:
+                    continue
+                slot = tape.slot_of.get(id(t))
+                if slot is not None:
+                    self.consumers.setdefault(slot, []).append(rec)
+        #: slots whose value escapes the plan each replay (run() returns
+        #: these arrays to the trainer, which reads them after the step)
+        self._escaping = {tape.slot_of[id(logits)]}
+        if loss is not None:
+            self._escaping.add(tape.slot_of[id(loss)])
+
+    def _end_of(self, rec: _Record) -> int:
+        """Conservative last timeline position attributable to ``rec``
+        (the closing tick of its backward thunk)."""
+        bt = self.bwd_t.get(id(rec))
+        if bt is not None:
+            return bt + 1
+        if self.kind == "train":
+            # A recorded op with no backward thunk in a train plan is
+            # rare (a frozen subgraph); keep its buffers live to the end.
+            return self.horizon
+        return self.fwd_t[id(rec)] + 1
+
+    def bwd_window(self, rec: _Record) -> Tuple[int, int]:
+        """The two ticks of ``rec``'s backward thunk (or a shared
+        past-the-end slot for an op whose backward never runs)."""
+        bt = self.bwd_t.get(id(rec))
+        if bt is None:
+            return self.horizon, self.horizon
+        return bt, bt + 1
+
+    def value_end(self, rec: _Record) -> int:
+        """Last use of ``rec``'s output value: every consumer's forward
+        and backward, plus the producer's own backward (which may read
+        its output, e.g. the ReLU mask recomputation)."""
+        slot = self.tape.slot_of[id(rec.out)]
+        if slot in self._escaping:
+            return self.horizon
+        end = self._end_of(rec)
+        for c in self.consumers.get(slot, ()):
+            end = max(end, self.fwd_t[id(c)] + 1, self._end_of(c))
+        return end
+
+    def grad_end(self, x: Tensor) -> Optional[int]:
+        """Last use of a gradient buffer donated toward ``x``: the
+        backward thunk of x's producer consumes (and releases) it.
+        ``None`` means the buffer escapes the plan entirely — a leaf
+        gradient kept by ``F._give_grad`` for the optimizer — and must
+        stay a private allocation."""
+        slot = self.tape.slot_of.get(id(x))
+        if slot is None:
+            return None
+        if slot in self.tape._input_slots:
+            return self.horizon
+        rec = self.tape.rec_of.get(id(x))
+        if rec is None:
+            return self.horizon
+        return self._end_of(rec)
+
+    def alias_ok(self, x: Tensor, rec: _Record) -> bool:
+        """May ``rec`` write its output in place over input ``x``?
+
+        Safe iff ``rec`` is x's *only* consumer and x's producer's
+        backward never reads its own output, so the overwritten value is
+        provably dead after ``rec``'s forward.  Convolution and the
+        affine-folded BN (without fused ReLU) qualify; ReLU-family
+        producers re-derive their backward mask from their output and do
+        not.  The requesting ops themselves (ReLU, residual add+ReLU)
+        read only their output at backward time, never ``x``.
+        """
+        slot = self.tape.slot_of.get(id(x))
+        if slot is None or slot in self.tape._input_slots:
+            return False
+        if slot in self._escaping:
+            return False
+        if len(self.consumers.get(slot, ())) != 1:
+            return False
+        prod = self.tape.rec_of.get(id(x))
+        if prod is None:
+            return False
+        if prod.kind == "conv2d":
+            return True
+        if prod.kind == "batch_norm":
+            _rm, _rv, _mom, _eps, training, relu_flag = prod.attrs
+            coef_path = training and (relu_flag or ws.config.fused_bnrelu)
+            return coef_path and not relu_flag
+        return False
 
 
 class _Record:
@@ -273,9 +397,49 @@ class Tape:
                loss: Optional[Tensor], logits: Tensor) -> "StepPlan":
         if len(self._input_slots) != 1:
             raise _CaptureError("exactly one marked input is required")
+        lt = _Lifetimes(self, bwd_nodes, kind, loss, logits)
+        if ws.config.mem_plan:
+            try:
+                return self._build_planned(kind, bwd_nodes, loss, logits, lt)
+            except _mp.PlanError as e:
+                _mp.STATS.fallbacks += 1
+                _mp.STATS.last_fallback_reason = str(e)
+        return self._assemble(kind, bwd_nodes, loss, logits, lt, mem=None)
+
+    def _build_planned(self, kind: str, bwd_nodes: List[Tensor],
+                       loss: Optional[Tensor], logits: Tensor,
+                       lt: _Lifetimes) -> "StepPlan":
+        """Two-pass build: size the arena, then assemble thunks over it.
+
+        Pass 1 runs the builder in *plan* mode — every plan-owned buffer
+        request records a :class:`memplan.Slab` with its liveness
+        interval and yields a throwaway array; the thunks it builds are
+        discarded.  After solving the layout and materializing the
+        arena, pass 2 replays the identical request sequence in *serve*
+        mode, so the kept thunks close over arena views instead of
+        private arrays.  Any divergence raises ``PlanError`` and
+        :meth:`_build` falls back to unplanned buffers.
+        """
+        mem = _mp.MemPlanner(lt.horizon)
+        scratch = StepPlan(kind=kind, n_slots=self._n_slots,
+                           input_slot=self._input_slots[0])
+        sizer = _PlanBuilder(self, scratch, keep_ctx=(kind == "train"),
+                             lt=lt, mem=mem)
+        for rec in self.records:
+            sizer.build(rec)
+        mem.solve()
+        mem.materialize(ws.PLAN_GENERATION)
+        plan = self._assemble(kind, bwd_nodes, loss, logits, lt, mem=mem)
+        mem.finish()
+        return plan
+
+    def _assemble(self, kind: str, bwd_nodes: List[Tensor],
+                  loss: Optional[Tensor], logits: Tensor,
+                  lt: _Lifetimes, mem) -> "StepPlan":
         plan = StepPlan(kind=kind, n_slots=self._n_slots,
                         input_slot=self._input_slots[0])
-        builder = _PlanBuilder(self, plan, keep_ctx=(kind == "train"))
+        builder = _PlanBuilder(self, plan, keep_ctx=(kind == "train"),
+                               lt=lt, mem=mem)
         pairs = {id(rec): builder.build(rec) for rec in self.records}
         plan._fwd = [pairs[id(rec)][0] for rec in self.records]
         plan._bwd = [pairs[id(self.rec_of[id(n)])][1] for n in bwd_nodes]
@@ -283,6 +447,7 @@ class Tape:
         plan._loss_slot = self.slot_of[id(loss)] if loss is not None else -1
         plan._leaf_shapes = builder.leaf_shapes()
         plan._n_ops = len(self.records)
+        plan._mem = mem
         return plan
 
 
@@ -295,12 +460,79 @@ class _PlanBuilder:
     allocated per step.
     """
 
-    def __init__(self, tape: Tape, plan: "StepPlan", keep_ctx: bool):
+    def __init__(self, tape: Tape, plan: "StepPlan", keep_ctx: bool,
+                 lt: Optional[_Lifetimes] = None, mem=None):
         self.tape = tape
         self.plan = plan
         self.keep_ctx = keep_ctx
         self.pooling = ws.config.pooling
         self._leaves: Dict[int, Tensor] = {}
+        #: liveness intervals and the arena planner (None -> every
+        #: plan-owned buffer is a private allocation, the PR-3 layout)
+        self.lt = lt
+        self.mem = mem
+
+    # -- planned buffer allocation ----------------------------------------
+    # Each helper maps one buffer class to its liveness interval and
+    # degrades to the exact pre-planner allocation when ``mem`` is None.
+    def _value_buf(self, rec: _Record, shape, dtype,
+                   alias_from: Optional[Tensor] = None) -> np.ndarray:
+        """Output activation: live from this op's forward to the last
+        forward/backward that reads it.  ``alias_from`` requests an
+        in-place overwrite of that input's slab when provably safe."""
+        if self.mem is None:
+            return np.empty(shape, dtype)
+        o = self.tape.slot_of[id(rec.out)]
+        alias_slot = None
+        if alias_from is not None and self.lt.alias_ok(alias_from, rec):
+            alias_slot = self.tape.slot_of[id(alias_from)]
+        t = self.lt.fwd_t[id(rec)]
+        return self.mem.alloc(shape, dtype, t, self.lt.value_end(rec),
+                              tag=rec.kind + ".y", out_slot=o,
+                              alias_slot=alias_slot)
+
+    def _span_buf(self, rec: _Record, shape, dtype, tag: str = "") \
+            -> np.ndarray:
+        """Forward staging the op's own backward still reads (columns)."""
+        if self.mem is None:
+            return np.empty(shape, dtype)
+        return self.mem.alloc(shape, dtype, self.lt.fwd_t[id(rec)],
+                              self.lt._end_of(rec),
+                              tag=tag or rec.kind + ".span")
+
+    def _bwd_buf(self, rec: _Record, shape, dtype, tag: str = "",
+                 phase: Optional[str] = None) -> np.ndarray:
+        """Scratch touched only inside the op's own backward thunk.
+
+        ``phase`` narrows the interval to the thunk's early tick ("a",
+        the weight-gradient GEMM) or late tick ("b", the dx staging) so
+        the conv backward's two large buffers can share one region;
+        ``None`` spans the whole thunk.
+        """
+        if self.mem is None:
+            return np.empty(shape, dtype)
+        lo, hi = self.lt.bwd_window(rec)
+        if phase == "a":
+            hi = lo
+        elif phase == "b":
+            lo = hi
+        return self.mem.alloc(shape, dtype, lo, hi,
+                              tag=tag or rec.kind + ".bwd")
+
+    def _grad_buf(self, rec: _Record, x: Tensor, shape, dtype, *,
+                  zero: bool = False, late: bool = False,
+                  tag: str = "") -> np.ndarray:
+        """Gradient donated toward ``x``: written in this op's backward,
+        consumed by x's producer's backward.  ``late`` marks a buffer
+        first written in the thunk's second phase.  Stays private when
+        the gradient escapes the plan (leaf sinks keep the array)."""
+        end = self.lt.grad_end(x) if self.mem is not None else None
+        if end is None:
+            return np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        lo, hi = self.lt.bwd_window(rec)
+        start = min(hi if late else lo, end)
+        return self.mem.alloc(shape, dtype, start, end,
+                              zero=zero, tag=tag or rec.kind + ".grad")
 
     # -- input/output resolution ------------------------------------------
     def _resolve(self, t: Tensor) -> Tuple[Optional[int], Optional[Tensor]]:
@@ -422,10 +654,12 @@ class _PlanBuilder:
 
         if _conv._is_pointwise(r, s, padding):
             w2 = w_t.data.reshape(k, c)
-            y3 = np.empty((n, k, ho * wo), dtype=dtype)
-            y4 = y3.reshape(n, k, ho, wo)
+            # Register under the 4-D output shape so a downstream
+            # shape-preserving consumer can alias onto this slab.
+            y4 = self._value_buf(rec, (n, k, ho, wo), dtype)
+            y3 = y4.reshape(n, k, ho * wo)
             if stride > 1:
-                xm4 = np.empty((n, c, ho, wo), dtype=dtype)
+                xm4 = self._span_buf(rec, (n, c, ho, wo), dtype)
                 xm = xm4.reshape(n, c, ho * wo)
                 xmT = xm.transpose(0, 2, 1)
 
@@ -451,14 +685,17 @@ class _PlanBuilder:
             if not self.keep_ctx:
                 return fwd, None
             w2t = w2.T
-            dwn = np.empty((n, k, c), dtype=dtype)
+            dwn = self._bwd_buf(rec, (n, k, c), dtype, phase="a")
             if need_dx:
                 if stride > 1:
-                    tmp3 = np.empty((n, c, ho * wo), dtype=dtype)
+                    tmp3 = self._bwd_buf(rec, (n, c, ho * wo), dtype,
+                                         phase="b")
                     tmp4 = tmp3.reshape(n, c, ho, wo)
-                    dx_buf = np.zeros((n, c, h, wd), dtype=dtype)
+                    dx_buf = self._grad_buf(rec, x, (n, c, h, wd), dtype,
+                                            zero=True, late=True)
                 else:
-                    dx3 = np.empty((n, c, ho * wo), dtype=dtype)
+                    dx3 = self._grad_buf(rec, x, (n, c, ho * wo), dtype,
+                                         late=True)
                     dx4 = dx3.reshape(n, c, h, wd)
             sink_x = self._sink_donate(x) if need_dx else None
 
@@ -496,24 +733,59 @@ class _PlanBuilder:
 
         # -- general (RxS) einsum lowering ---------------------------------
         w3 = w_t.data.reshape(k, c * r * s)
-        cols6 = np.empty((n, c, r, s, ho, wo), dtype=dtype)
+        # Column tensor: the forward GEMM needs it materialized.  Under
+        # the planner it is *rematerialized* for the backward instead of
+        # kept live across the step: the column stack is RxS times the
+        # feature map (9x for a 3x3 conv) and its keep-until-backward
+        # interval would dominate the liveness peak of every plan.  The
+        # backward re-stages the padded input (whose value slab is still
+        # live through this op's backward) and re-gathers the identical
+        # windows, so the weight-gradient GEMM sees bit-identical
+        # operands while both column buffers collapse to point-lived,
+        # arena-shared scratch.
+        if self.mem is not None:
+            t = self.lt.fwd_t[id(rec)]
+            cols6 = self.mem.alloc((n, c, r, s, ho, wo), dtype, t, t,
+                                   tag="conv2d.cols_f")
+        else:
+            cols6 = np.empty((n, c, r, s, ho, wo), dtype=dtype)
         cols3 = cols6.reshape(n, c * r * s, ho * wo)
         cols3T = cols3.transpose(0, 2, 1)
-        y3 = np.empty((n, k, ho * wo), dtype=dtype)
-        y4 = y3.reshape(n, k, ho, wo)
+        y4 = self._value_buf(rec, (n, k, ho, wo), dtype)
+        y3 = y4.reshape(n, k, ho * wo)
         if padding > 0:
-            xp = np.zeros((n, c, h + 2 * padding, wd + 2 * padding),
-                          dtype=dtype)
+            hp_f, wp_f = h + 2 * padding, wd + 2 * padding
+            if self.mem is not None:
+                # Point-lived padded staging, re-zeroed every step: a
+                # write-borders-once buffer would have to span the whole
+                # timeline exclusively (one per conv — the dominant slabs
+                # of early plans), while a per-step memset lets every
+                # conv in the plan share one region.  The fill is the
+                # same cost eager pays in its zero-filled pool acquire.
+                t = self.lt.fwd_t[id(rec)]
+                xp = self.mem.alloc((n, c, hp_f, wp_f), dtype, t, t,
+                                    tag="conv2d.xp")
+            else:
+                xp = np.zeros((n, c, hp_f, wp_f), dtype)
             xp_core = xp[:, :, padding:padding + h, padding:padding + wd]
             wdwT = _conv._windows(xp, r, s, stride).transpose(0, 1, 4, 5, 2, 3)
-
-            def fwd() -> None:
-                np.copyto(xp_core, rd_x())
-                np.copyto(cols6, wdwT)
-                np.matmul(w3, cols3, out=y3)
-                if b_t is not None:
-                    np.add(y4, b_t.data[None, :, None, None], out=y4)
-                values[o] = y4
+            if self.mem is not None:
+                def fwd() -> None:
+                    xp.fill(0)
+                    np.copyto(xp_core, rd_x())
+                    np.copyto(cols6, wdwT)
+                    np.matmul(w3, cols3, out=y3)
+                    if b_t is not None:
+                        np.add(y4, b_t.data[None, :, None, None], out=y4)
+                    values[o] = y4
+            else:
+                def fwd() -> None:
+                    np.copyto(xp_core, rd_x())
+                    np.copyto(cols6, wdwT)
+                    np.matmul(w3, cols3, out=y3)
+                    if b_t is not None:
+                        np.add(y4, b_t.data[None, :, None, None], out=y4)
+                    values[o] = y4
         else:
             def fwd() -> None:
                 wdw = _conv._windows(rd_x(), r, s, stride)
@@ -525,25 +797,66 @@ class _PlanBuilder:
         if not self.keep_ctx:
             return fwd, None
 
-        dwn = np.empty((n, k, c * r * s), dtype=dtype)
+        dwn = self._bwd_buf(rec, (n, k, c * r * s), dtype, phase="a")
+        if self.mem is not None:
+            # Planned path: rematerialize the columns for the
+            # weight-gradient GEMM (see the forward-side comment).
+            cols_b6 = self._bwd_buf(rec, (n, c, r, s, ho, wo), dtype,
+                                    tag="conv2d.cols_b", phase="a")
+            cols_bT = cols_b6.reshape(n, c * r * s, ho * wo) \
+                .transpose(0, 2, 1)
+            if padding > 0:
+                # xp is point-lived under the planner, so the backward
+                # re-pads x into its own phase-"a" scratch before the
+                # gather (x's value slab is live through this backward).
+                xpb = self._bwd_buf(rec, xp.shape, dtype,
+                                    tag="conv2d.xpb", phase="a")
+                xpb_core = xpb[:, :, padding:padding + h,
+                               padding:padding + wd]
+                wdwbT = _conv._windows(xpb, r, s, stride) \
+                    .transpose(0, 1, 4, 5, 2, 3)
+
+                def regather() -> None:
+                    xpb.fill(0)
+                    np.copyto(xpb_core, rd_x())
+                    np.copyto(cols_b6, wdwbT)
+            else:
+                def regather() -> None:
+                    wdw = _conv._windows(rd_x(), r, s, stride)
+                    np.copyto(cols_b6, wdw.transpose(0, 1, 4, 5, 2, 3))
+        else:
+            cols_bT = cols3T
+            regather = None
         sink_x = self._sink_donate(x) if need_dx else None
         if need_dx and stride == 1 and r > padding and s > padding:
             # Transposed-convolution dx (the eager _tconv_dx), with the
             # padded-dy staging, window view, and output preplanned.
             pr, ps = r - 1 - padding, s - 1 - padding
-            wf4 = np.empty((c, k, r, s), dtype=dtype)
+            wf4 = self._bwd_buf(rec, (c, k, r, s), dtype, tag="conv2d.wf",
+                                phase="b")
             wf2 = wf4.reshape(c, k * r * s)
-            dx3 = np.empty((n, c, h * wd), dtype=dtype)
+            dx3 = self._grad_buf(rec, x, (n, c, h * wd), dtype, late=True)
             dx4 = dx3.reshape(n, c, h, wd)
-            dyc6 = np.empty((n, k, r, s, h, wd), dtype=dtype)
+            dyc6 = self._bwd_buf(rec, (n, k, r, s, h, wd), dtype,
+                                 tag="conv2d.dyc", phase="b")
             dyc3 = dyc6.reshape(n, k * r * s, h * wd)
             if pr or ps:
-                dyp = np.zeros((n, k, ho + 2 * pr, wo + 2 * ps), dtype=dtype)
+                if self.mem is not None:
+                    # Per-step re-zeroed phase-"b" scratch (cf. xp above:
+                    # sharing beats the one-time border write).
+                    dyp = self._bwd_buf(rec,
+                                        (n, k, ho + 2 * pr, wo + 2 * ps),
+                                        dtype, tag="conv2d.dyp", phase="b")
+                else:
+                    dyp = np.zeros((n, k, ho + 2 * pr, wo + 2 * ps), dtype)
                 dyp_core = dyp[:, :, pr:ho + pr, ps:wo + ps]
                 dywT = _conv._windows(dyp, r, s, 1) \
                     .transpose(0, 1, 4, 5, 2, 3)
+                rezero_dyp = self.mem is not None
 
                 def compute_dx(g: np.ndarray) -> np.ndarray:
+                    if rezero_dyp:
+                        dyp.fill(0)
                     np.copyto(dyp_core, g)
                     np.copyto(dyc6, dywT)
                     np.copyto(wf4,
@@ -562,9 +875,11 @@ class _PlanBuilder:
             # Strided scatter-add dx (the eager _dx_scatter), preplanned.
             hp, wp = h + 2 * padding, wd + 2 * padding
             w3T = w3.T
-            dcols = np.empty((n, c * r * s, ho * wo), dtype=dtype)
+            dcols = self._bwd_buf(rec, (n, c * r * s, ho * wo), dtype,
+                                  tag="conv2d.dcols", phase="b")
             d6 = dcols.reshape(n, c, r, s, ho, wo)
-            dxp = np.zeros((n, c, hp, wp), dtype=dtype)
+            dxp = self._grad_buf(rec, x, (n, c, hp, wp), dtype, zero=True,
+                                 late=True, tag="conv2d.dxp")
             if padding > 0:
                 dx_view = dxp[:, :, padding:padding + h, padding:padding + wd]
             else:
@@ -591,7 +906,9 @@ class _PlanBuilder:
             if g is None:
                 return
             dym = g.reshape(n, k, ho * wo)
-            np.matmul(dym, cols3T, out=dwn)
+            if regather is not None:
+                regather()
+            np.matmul(dym, cols_bT, out=dwn)
             dw = np.add.reduce(dwn, axis=0).reshape(k, c, r, s)
             db = g.sum(axis=(0, 2, 3)) if b_t is not None else None
             if compute_dx is not None:
@@ -709,7 +1026,7 @@ class _PlanBuilder:
         o = self.tape.slot_of[id(rec.out)]
         values, grads = self.plan._values, self.plan._grads
         from . import functional as F
-        y = np.empty((n, c, h, w), dtype=dtype)
+        y = self._value_buf(rec, (n, c, h, w), dtype)
         #: (x, mu, inv_std) of the current step, for the backward thunk
         box: List[Optional[tuple]] = [None]
         keep = self.keep_ctx
@@ -744,10 +1061,11 @@ class _PlanBuilder:
             return fwd, None
 
         sink_x = self._sink_donate(x)
-        dx = np.empty((n, c, h, w), dtype=dtype)
-        gbuf = np.empty((n, c, h, w), dtype=dtype)
+        dx = self._grad_buf(rec, x, (n, c, h, w), dtype)
+        gbuf = self._bwd_buf(rec, (n, c, h, w), dtype, tag="batch_norm.g")
         if relu_flag:
-            mask = np.empty((n, c, h, w), dtype=bool)
+            mask = self._bwd_buf(rec, (n, c, h, w), bool,
+                                 tag="batch_norm.mask")
 
         def bwd() -> None:
             gr = grads[o]
@@ -826,7 +1144,9 @@ class _PlanBuilder:
         rd_x = self._reader(x)
         shape = rec.out.data.shape
         dtype = rec.out.data.dtype
-        y = np.empty(shape, dtype=dtype)
+        # Shape-preserving: overwrite the input's slab in place when the
+        # planner proves the input value is dead after this forward.
+        y = self._value_buf(rec, shape, dtype, alias_from=x)
         o = self.tape.slot_of[id(rec.out)]
         values, grads = self.plan._values, self.plan._grads
 
@@ -837,8 +1157,8 @@ class _PlanBuilder:
         if not self.keep_ctx:
             return fwd, None
         sink_x = self._sink_donate(x)
-        mask = np.empty(shape, dtype=bool)
-        prod = np.empty(shape, dtype=dtype)
+        mask = self._bwd_buf(rec, shape, bool, tag="relu.mask")
+        prod = self._grad_buf(rec, x, shape, dtype)
 
         def bwd() -> None:
             g = grads[o]
@@ -856,7 +1176,16 @@ class _PlanBuilder:
         rd_a, rd_b = self._reader(a), self._reader(b)
         shape = rec.out.data.shape
         dtype = rec.out.data.dtype
-        y = np.empty(shape, dtype=dtype)
+        # The residual join is the planner's main aliasing site: the BN
+        # output feeding it is single-consumed, so y can overwrite it.
+        # Elementwise add/maximum tolerate out= aliasing either operand.
+        alias_from = None
+        if self.lt is not None:
+            if self.lt.alias_ok(a, rec):
+                alias_from = a
+            elif self.lt.alias_ok(b, rec):
+                alias_from = b
+        y = self._value_buf(rec, shape, dtype, alias_from=alias_from)
         o = self.tape.slot_of[id(rec.out)]
         values, grads = self.plan._values, self.plan._grads
 
@@ -868,11 +1197,11 @@ class _PlanBuilder:
         if not self.keep_ctx:
             return fwd, None
         sink_a, sink_b = self._sink_donate(a), self._sink_donate(b)
-        mask = np.empty(shape, dtype=bool)
+        mask = self._bwd_buf(rec, shape, bool, tag="add_relu.mask")
         # Two product buffers: the eager backward donates a *separate*
         # masked gradient to each parent.
-        prod_a = np.empty(shape, dtype=dtype)
-        prod_b = np.empty(shape, dtype=dtype)
+        prod_a = self._grad_buf(rec, a, shape, dtype, tag="add_relu.da")
+        prod_b = self._grad_buf(rec, b, shape, dtype, tag="add_relu.db")
 
         def bwd() -> None:
             g = grads[o]
@@ -1150,9 +1479,12 @@ class StepPlan:
         self._loss_slot = -1
         self._leaf_shapes: List[Tuple[Tensor, tuple]] = []
         self._n_ops = 0
+        #: the arena planner backing this plan's buffers (None when the
+        #: plan was built unplanned — mem_plan off or planner fallback)
+        self._mem = None
         self.generation = ws.PLAN_GENERATION
         self.engine_sig = (ws.config.pooling, ws.config.fused_bnrelu,
-                           ws.config.conv_impl)
+                           ws.config.conv_impl, ws.config.mem_plan)
 
     # -- validation --------------------------------------------------------
     def invalid_reason(self) -> Optional[str]:
@@ -1160,12 +1492,18 @@ class StepPlan:
         if self.generation != ws.PLAN_GENERATION:
             return "model reconfigured since capture"
         if (ws.config.pooling, ws.config.fused_bnrelu,
-                ws.config.conv_impl) != self.engine_sig:
+                ws.config.conv_impl, ws.config.mem_plan) != self.engine_sig:
             return "engine configuration changed since capture"
         for t, shape in self._leaf_shapes:
             if t.data.shape != shape:
                 return "parameter shape changed since capture"
         return None
+
+    # -- memory reporting --------------------------------------------------
+    def mem_metrics(self) -> Optional[Dict[str, float]]:
+        """The arena planner's exact footprint numbers, or ``None`` for
+        an unplanned build."""
+        return self._mem.metrics() if self._mem is not None else None
 
     # -- replay ------------------------------------------------------------
     def run(self, x: np.ndarray, targets: np.ndarray
@@ -1218,26 +1556,52 @@ class StepPlan:
 
 
 class PlanCache:
-    """Shape-keyed plan cache that self-clears on generation bumps.
+    """Shape-keyed LRU plan cache that self-clears on generation bumps.
 
     Values are either a :class:`StepPlan` or a ``str`` fallback reason (a
     capture-failure sentinel, so an uncompilable step is attempted once per
     stationary phase, not once per batch).
+
+    Stale-generation entries are purged eagerly on *every* access —
+    ``store`` included, so a store right after a reconfiguration can never
+    re-stamp dead plans (and their arenas) with the new generation.  The
+    ``max_entries`` cap bounds growth across dynamic-batch tails: a run
+    that keeps (batch, tail-batch) pairs per stationary phase stays small,
+    but a pathological key churn evicts least-recently-used plans instead
+    of accumulating arenas for the life of the trainer.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self._plans: Dict[tuple, object] = {}
         self._generation = ws.PLAN_GENERATION
+        self.max_entries = max_entries
+        self.evictions = 0
 
-    def lookup(self, key: tuple):
+    def purge_stale(self) -> None:
+        """Drop every entry captured before the current plan generation."""
         if self._generation != ws.PLAN_GENERATION:
             self._plans.clear()
             self._generation = ws.PLAN_GENERATION
-        return self._plans.get(key)
+
+    def lookup(self, key: tuple):
+        self.purge_stale()
+        value = self._plans.get(key)
+        if value is not None:
+            # Refresh LRU position (dict preserves insertion order).
+            self._plans.pop(key)
+            self._plans[key] = value
+        return value
 
     def store(self, key: tuple, value) -> None:
-        self._generation = ws.PLAN_GENERATION
+        self.purge_stale()
+        self._plans.pop(key, None)
         self._plans[key] = value
+        while len(self._plans) > self.max_entries:
+            oldest = next(iter(self._plans))
+            del self._plans[oldest]
+            self.evictions += 1
 
     def drop(self, key: tuple) -> None:
         self._plans.pop(key, None)

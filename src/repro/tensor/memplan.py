@@ -1,0 +1,372 @@
+"""Static memory planning for compiled step plans (liveness + arena).
+
+PruneTrain's speedup story is a *memory* story as much as a FLOP story: the
+paper grows the mini-batch to refill the device capacity that pruning frees
+(Sec. 4.3, Fig. 9), so the peak training footprint is a first-class
+performance quantity.  The compiled :class:`~repro.tensor.compile.StepPlan`
+gives us the exact dataflow of one training step — every buffer, every
+def/use — which makes the footprint *plannable* instead of merely observed.
+
+This module provides the planner.  The plan builder describes each
+plan-owned buffer as a :class:`Slab` with a **liveness interval** on the
+step's execution timeline (forward thunks ``0..F-1``, then backward thunks
+``F..F+B-1``): first definition to last use, honoring gradient donation
+(a donated buffer lives until the producing op's backward consumes it); a
+slab may also be declared *persistent* (cross-step state), which pins it
+exclusively across the whole timeline.
+:meth:`MemPlanner.solve` then assigns every slab an offset in a
+single pre-allocated byte arena by greedy best-fit: slabs whose intervals
+do not overlap share memory, and shape-preserving ops (ReLU, the residual
+add+ReLU join) may *alias* their output directly onto their input's slab.
+:meth:`MemPlanner.materialize` carves the arena into ndarray views; replay
+thunks use them exactly like the private buffers they replace, so results
+stay bit-identical while the plan's resident footprint drops from
+*sum-of-all-buffers* to the liveness peak (plus fragmentation).
+
+The planner's ``arena_bytes`` is also a *measured* capacity signal: divided
+by the capture batch size it yields exact peak transient bytes per sample,
+which :class:`repro.costmodel.memory.MemoryModel` can consume (via
+``observe``) so dynamic mini-batch growth is driven by planned footprint
+rather than the analytical estimate.
+
+Lifecycle: arenas are owned by their plan.  Plans retire on
+``workspace.PLAN_GENERATION`` bumps (pruning reconfiguration, checkpoint
+restore) and are dropped by the trainer's ``PlanCache``; the weakref
+registry here lets :func:`live_arena_bytes` report how many arena bytes are
+currently resident without keeping any arena alive.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Slab", "MemPlanner", "MemPlanStats", "STATS",
+           "live_arena_bytes", "live_arena_count"]
+
+#: Offset alignment for every slab (bytes).  64 keeps any float64 view
+#: aligned and matches a cache line.
+ALIGN = 64
+
+
+class PlanError(Exception):
+    """Raised when a buffer request cannot be planned or served."""
+
+
+def _align(n: int) -> int:
+    return (n + ALIGN - 1) // ALIGN * ALIGN
+
+
+@dataclass
+class Slab:
+    """One plan-owned buffer request with its liveness interval.
+
+    ``start``/``end`` are inclusive positions on the step timeline; a
+    ``persistent`` slab keeps state across replays (zero-padded borders)
+    and therefore spans the whole timeline exclusively.
+    """
+
+    shape: tuple
+    dtype: np.dtype
+    start: int
+    end: int
+    zero: bool = False
+    persistent: bool = False
+    tag: str = ""
+    #: root slab this one aliases (shares memory with), or None
+    alias_of: Optional["Slab"] = None
+    offset: int = -1
+    arr: Optional[np.ndarray] = None
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    def root(self) -> "Slab":
+        s = self
+        while s.alias_of is not None:
+            s = s.alias_of
+        return s
+
+
+@dataclass
+class MemPlanStats:
+    """Process-wide planning accounting (surfaced by the profiler)."""
+
+    plans: int = 0
+    solve_seconds: float = 0.0
+    #: last-solved plan's numbers
+    arena_bytes: int = 0
+    naive_bytes: int = 0
+    peak_bytes: int = 0
+    alias_buffers: int = 0
+    #: planning attempts that fell back to unplanned buffers
+    fallbacks: int = 0
+    last_fallback_reason: str = ""
+
+    def reset(self) -> None:
+        self.plans = self.fallbacks = 0
+        self.solve_seconds = 0.0
+        self.arena_bytes = self.naive_bytes = self.peak_bytes = 0
+        self.alias_buffers = 0
+        self.last_fallback_reason = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"plans": self.plans,
+                "solve_seconds": self.solve_seconds,
+                "arena_bytes": self.arena_bytes,
+                "naive_bytes": self.naive_bytes,
+                "peak_bytes": self.peak_bytes,
+                "alias_buffers": self.alias_buffers,
+                "fallbacks": self.fallbacks,
+                "last_fallback_reason": self.last_fallback_reason,
+                "live_arenas": live_arena_count(),
+                "live_arena_bytes": live_arena_bytes()}
+
+
+#: Process-wide planner statistics (``PROFILER.summary()["_memplan"]``).
+STATS = MemPlanStats()
+
+
+class _ArenaHandle:
+    """Weakref-able owner of one arena allocation (plain ndarrays cannot
+    be weakly referenced)."""
+
+    __slots__ = ("buf", "generation", "__weakref__")
+
+    def __init__(self, buf: np.ndarray, generation: int):
+        self.buf = buf
+        self.generation = generation
+
+
+_LIVE_ARENAS: List["weakref.ref[_ArenaHandle]"] = []
+
+
+def _live_handles() -> List[_ArenaHandle]:
+    alive = []
+    dead = False
+    for ref in _LIVE_ARENAS:
+        h = ref()
+        if h is None:
+            dead = True
+        else:
+            alive.append(h)
+    if dead:
+        _LIVE_ARENAS[:] = [weakref.ref(h) for h in alive]
+    return alive
+
+
+def live_arena_bytes() -> int:
+    """Total bytes of all arenas still referenced by a live plan."""
+    return sum(h.buf.nbytes for h in _live_handles())
+
+
+def live_arena_count() -> int:
+    return len(_live_handles())
+
+
+class MemPlanner:
+    """Liveness-driven arena allocator for one step plan.
+
+    Life of a planner (driven by the plan builder in two passes)::
+
+        mem = MemPlanner(timeline_end)
+        # pass 1 — the builder runs once in *plan* mode: every alloc()
+        # records a Slab and returns a throwaway array of the right shape
+        ... builder pass 1 ...
+        mem.solve()          # greedy best-fit offset assignment
+        mem.materialize(gen) # one arena; slabs become views into it
+        # pass 2 — the builder runs again in *serve* mode: alloc() replays
+        # the recorded request sequence and hands out the arena views
+        ... builder pass 2 ...
+        mem.finish()         # asserts pass 2 consumed every request
+
+    The two passes must make identical requests (the builder is a pure
+    function of the captured tape and engine config); any divergence
+    raises :class:`PlanError` and the capture falls back to unplanned
+    buffers.
+    """
+
+    def __init__(self, horizon: int):
+        #: one past the last timeline position (persistent slabs span it all)
+        self.horizon = horizon
+        self.slabs: List[Slab] = []
+        self._by_slot: Dict[int, Slab] = {}
+        self.serving = False
+        self._cursor = 0
+        self.arena: Optional[np.ndarray] = None
+        self._handle: Optional[_ArenaHandle] = None
+        self.arena_bytes = 0
+        self.peak_bytes = 0
+        self.alias_buffers = 0
+        self.solve_seconds = 0.0
+
+    # -- request / serve ---------------------------------------------------
+    def alloc(self, shape: tuple, dtype, start: int, end: int, *,
+              zero: bool = False, persistent: bool = False, tag: str = "",
+              out_slot: Optional[int] = None,
+              alias_slot: Optional[int] = None) -> np.ndarray:
+        """Request (pass 1) or fetch (pass 2) one plan-owned buffer.
+
+        ``out_slot`` registers the buffer as the value of a plan slot so a
+        later shape-preserving consumer can alias onto it via
+        ``alias_slot``.  Aliasing is honored only when the target slab
+        exists with identical shape/dtype and is not persistent.
+        """
+        dtype = np.dtype(dtype)
+        if self.serving:
+            if self._cursor >= len(self.slabs):
+                raise PlanError("serve pass requested more buffers than "
+                                "the planning pass recorded")
+            slab = self.slabs[self._cursor]
+            self._cursor += 1
+            if slab.shape != tuple(shape) or slab.dtype != dtype:
+                raise PlanError(
+                    f"serve pass diverged from planning pass: "
+                    f"{slab.shape}/{slab.dtype} vs {tuple(shape)}/{dtype}")
+            return slab.arr
+        if persistent:
+            start, end = 0, self.horizon
+        slab = Slab(tuple(shape), dtype, start, end, zero=zero,
+                    persistent=persistent, tag=tag)
+        if alias_slot is not None:
+            target = self._by_slot.get(alias_slot)
+            if (target is not None and not target.root().persistent
+                    and target.shape == slab.shape
+                    and target.dtype == slab.dtype):
+                slab.alias_of = target.root()
+        self.slabs.append(slab)
+        if out_slot is not None:
+            self._by_slot[out_slot] = slab
+        # Throwaway array for the (discarded) pass-1 thunks: the builder
+        # only needs the right shape/dtype to precompute its views.
+        arr = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        return arr
+
+    def slab_for_slot(self, slot: int) -> Optional[Slab]:
+        return self._by_slot.get(slot)
+
+    # -- layout ------------------------------------------------------------
+    def solve(self) -> int:
+        """Assign arena offsets (greedy best-fit); returns arena bytes.
+
+        Aliased slabs collapse onto their root, which inherits the union
+        of the group's intervals.  Roots are placed largest-first; each
+        goes into the tightest gap among already-placed slabs whose
+        intervals overlap its own (best fit), or extends the arena.
+        """
+        t0 = time.perf_counter()
+        roots: List[Slab] = []
+        for s in self.slabs:
+            if s.alias_of is not None:
+                r = s.root()
+                r.start = min(r.start, s.start)
+                r.end = max(r.end, s.end)
+                self.alias_buffers += 1
+            else:
+                roots.append(s)
+        order = sorted(roots, key=lambda s: (-s.nbytes, s.start))
+        placed: List[Slab] = []
+        arena_end = 0
+        for s in order:
+            if s.nbytes == 0:
+                s.offset = 0
+                continue
+            need = _align(s.nbytes)
+            live = sorted((p for p in placed
+                           if p.start <= s.end and s.start <= p.end),
+                          key=lambda p: p.offset)
+            best = None      # (gap_slack, offset)
+            cursor = 0
+            for p in live:
+                if p.offset > cursor:
+                    gap = p.offset - cursor
+                    if gap >= need and (best is None or gap - need < best[0]):
+                        best = (gap - need, cursor)
+                cursor = max(cursor, p.offset + _align(p.nbytes))
+            s.offset = best[1] if best is not None else cursor
+            placed.append(s)
+            arena_end = max(arena_end, s.offset + _align(s.nbytes))
+        self.arena_bytes = arena_end
+        self.peak_bytes = self._liveness_peak(roots)
+        self.solve_seconds = time.perf_counter() - t0
+        return arena_end
+
+    def _liveness_peak(self, roots: List[Slab]) -> int:
+        """Max over time of simultaneously-live bytes (fragmentation-free
+        lower bound on any arena layout)."""
+        events: Dict[int, int] = {}
+        for s in roots:
+            if s.nbytes == 0:
+                continue
+            events[s.start] = events.get(s.start, 0) + s.nbytes
+            events[s.end + 1] = events.get(s.end + 1, 0) - s.nbytes
+        peak = cur = 0
+        for t in sorted(events):
+            cur += events[t]
+            peak = max(peak, cur)
+        return peak
+
+    @property
+    def naive_bytes(self) -> int:
+        """What the unplanned builder would allocate: every buffer private."""
+        return sum(s.nbytes for s in self.slabs)
+
+    def materialize(self, generation: int) -> None:
+        """Allocate the arena and turn every slab into a view into it."""
+        if self.arena is not None:
+            raise PlanError("arena already materialized")
+        self.arena = np.empty(max(self.arena_bytes, 1), dtype=np.uint8)
+        self._handle = _ArenaHandle(self.arena, generation)
+        _LIVE_ARENAS.append(weakref.ref(self._handle))
+        for s in self.slabs:
+            root = s.root()
+            if s.nbytes == 0:
+                s.arr = np.empty(s.shape, s.dtype)
+                continue
+            view = self.arena[root.offset:root.offset + s.nbytes]
+            s.arr = view.view(s.dtype).reshape(s.shape)
+        for s in self.slabs:
+            # Zero-init once; persistent borders rely on it across steps,
+            # the rest matches the unplanned builder's np.zeros allocations.
+            if s.zero and s.alias_of is None:
+                s.arr.fill(0)
+        self.serving = True
+        self._cursor = 0
+        STATS.plans += 1
+        STATS.solve_seconds += self.solve_seconds
+        STATS.arena_bytes = self.arena_bytes
+        STATS.naive_bytes = self.naive_bytes
+        STATS.peak_bytes = self.peak_bytes
+        STATS.alias_buffers = self.alias_buffers
+
+    def finish(self) -> None:
+        """Assert the serve pass consumed exactly the recorded requests."""
+        if self.serving and self._cursor != len(self.slabs):
+            raise PlanError(
+                f"serve pass consumed {self._cursor} of "
+                f"{len(self.slabs)} planned buffers")
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def savings(self) -> float:
+        """Fraction of the naive resident footprint the arena eliminates."""
+        naive = self.naive_bytes
+        return 1.0 - self.arena_bytes / naive if naive else 0.0
+
+    def metrics(self) -> Dict[str, float]:
+        return {"arena_bytes": float(self.arena_bytes),
+                "naive_bytes": float(self.naive_bytes),
+                "peak_bytes": float(self.peak_bytes),
+                "alias_buffers": float(self.alias_buffers),
+                "savings": self.savings}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemPlanner(slabs={len(self.slabs)}, "
+                f"arena={self.arena_bytes / 1e6:.2f}MB, "
+                f"naive={self.naive_bytes / 1e6:.2f}MB, "
+                f"aliased={self.alias_buffers})")

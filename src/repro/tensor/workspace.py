@@ -64,25 +64,33 @@ class EngineConfig:
     #: convolution lowering: "einsum" (direct contraction over the
     #: sliding-window view) or "im2col" (seed column-matrix + GEMM)
     conv_impl: str = "einsum"
+    #: static memory planning for compiled step plans
+    #: (:mod:`repro.tensor.memplan`): assign all plan-owned transient
+    #: buffers into one liveness-shared arena instead of private arrays.
+    #: Bit-exact either way; off recovers the PR-3 per-buffer layout.
+    mem_plan: bool = True
 
 
 config = EngineConfig(
     pooling=_env_flag("REPRO_WORKSPACE", True),
     fused_bnrelu=_env_flag("REPRO_FUSED", True),
     conv_impl=os.environ.get("REPRO_CONV_IMPL", "einsum"),
+    mem_plan=_env_flag("REPRO_MEM_PLAN", True),
 )
 
 
 @contextmanager
 def baseline_engine():
     """Temporarily run with every optimization off (the seed engine path)."""
-    saved = (config.pooling, config.fused_bnrelu, config.conv_impl)
-    config.pooling, config.fused_bnrelu, config.conv_impl = \
-        False, False, "im2col"
+    saved = (config.pooling, config.fused_bnrelu, config.conv_impl,
+             config.mem_plan)
+    config.pooling, config.fused_bnrelu, config.conv_impl, \
+        config.mem_plan = False, False, "im2col", False
     try:
         yield
     finally:
-        config.pooling, config.fused_bnrelu, config.conv_impl = saved
+        config.pooling, config.fused_bnrelu, config.conv_impl, \
+            config.mem_plan = saved
 
 
 @dataclass
@@ -94,17 +102,25 @@ class PoolStats:
     bytes_reused: int = 0
     bytes_allocated: int = 0
     invalidations: int = 0
+    #: buffers silently dropped because a key's free list was already at
+    #: ``max_per_key`` — nonzero means the pool is undersized for the
+    #: workload (or a shape churns faster than it is reused)
+    evictions: int = 0
+    bytes_evicted: int = 0
 
     def reset(self) -> None:
         self.hits = self.misses = 0
         self.bytes_reused = self.bytes_allocated = 0
         self.invalidations = 0
+        self.evictions = self.bytes_evicted = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "bytes_reused": self.bytes_reused,
                 "bytes_allocated": self.bytes_allocated,
-                "invalidations": self.invalidations}
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "bytes_evicted": self.bytes_evicted}
 
 
 class WorkspacePool:
@@ -160,6 +176,9 @@ class WorkspacePool:
         free = self._free.setdefault(key, [])
         if len(free) < self.max_per_key:
             free.append(buf)
+        else:
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += buf.nbytes
 
     def clear(self) -> None:
         """Drop every cached and lent buffer (pruning reconfiguration)."""
@@ -200,6 +219,17 @@ POOL = WorkspacePool()
 #: pool also invalidate every captured kernel schedule.
 PLAN_GENERATION = 0
 
+#: Callbacks fired after every PLAN_GENERATION bump.  Plan-lifetime
+#: resources that must not outlive a stationary phase register here —
+#: :mod:`repro.tensor.memplan` uses it to account stale arenas, and tests
+#: can observe invalidation ordering.  Hooks must be cheap and never raise.
+_invalidation_hooks: list = []
+
+
+def on_invalidate(hook) -> None:
+    """Register a callback run after each plan-generation bump."""
+    _invalidation_hooks.append(hook)
+
 
 def invalidate_plans() -> None:
     """Invalidate every captured step plan without touching the pool.
@@ -207,10 +237,14 @@ def invalidate_plans() -> None:
     Called on its own for state mutations that keep activation shapes but
     swap the underlying arrays (``Module.load_state_dict`` reassigns
     ``param.data``, so array references captured by a plan go stale), and
-    as part of :func:`invalidate` for full reconfigurations.
+    as part of :func:`invalidate` for full reconfigurations.  Plan-owned
+    arenas (:mod:`repro.tensor.memplan`) die with their plans; the
+    registered invalidation hooks let interested parties observe the bump.
     """
     global PLAN_GENERATION
     PLAN_GENERATION += 1
+    for hook in _invalidation_hooks:
+        hook(PLAN_GENERATION)
 
 
 def acquire(shape: tuple, dtype=np.float32, zero: bool = False) -> np.ndarray:

@@ -38,6 +38,13 @@ class EpochRecord:
     channel_sparsity: float = 0.0
     removed_layers: int = 0
     wall_time: float = 0.0
+    #: static memory planner numbers for the epoch's training plan (zero
+    #: when compilation or the planner is off): exact liveness peak of
+    #: plan-owned transient bytes, the packed arena size actually
+    #: allocated, and the fraction saved vs one-private-buffer-each
+    mem_peak_bytes: float = 0.0
+    arena_bytes: float = 0.0
+    mem_plan_savings: float = 0.0
     #: elastic data parallelism (populated when ``workers > 1``): coordinator
     #: wall time lost waiting on stragglers this epoch, workers alive at
     #: epoch end, and cumulative failures detected so far in the run

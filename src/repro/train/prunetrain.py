@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..costmodel.memory import activation_bytes_per_sample
 from ..distributed import DynamicBatchAdjuster
 from ..nn.module import Module
 from ..prune import (ChannelTracker, GroupLasso, PruneReport,
@@ -175,6 +176,7 @@ class PruneTrainTrainer(Trainer):
                 if self.model.graph._active(node):
                     self.tracker.note_reconfigure(name, masks[node.out_space])
 
+        pre_ana = activation_bytes_per_sample(self.model.graph)
         report = prune_and_reconfigure(
             self.model, self.optimizer, self.threshold,
             remove_layers=self.cfg.remove_layers,
@@ -182,11 +184,33 @@ class PruneTrainTrainer(Trainer):
         self.reports.append(report)
 
         if self.batch_adjuster is not None:
+            self._feed_measured_footprint(pre_ana)
             adj = self.batch_adjuster.propose(self.model.graph,
                                               self.loader.batch_size)
             if adj.changed:
                 self.loader.set_batch_size(adj.new_batch)
                 self.lr_scale *= adj.lr_scale
+
+    def _feed_measured_footprint(self, pre_ana: float) -> None:
+        """Project the planner's measured bytes/sample onto the pruned graph.
+
+        The arena measurement (Sec. 4.3's capacity signal, made exact by the
+        memory planner) was taken on the *pre-prune* model; the plan for the
+        pruned model does not exist until the next captured batch.  The
+        planner footprint tracks activation volume, so scale the measured
+        bytes/sample by the analytical shrink factor and feed that to the
+        memory model — ``max_batch(measured=True)`` then sizes the new batch
+        from real, not estimated, transient memory.  No-op for analytical
+        adjusters (the default) and for eager/unplanned runs.
+        """
+        adj = self.batch_adjuster
+        mm = self._last_mem_metrics
+        if adj.source != "measured" or not mm or pre_ana <= 0:
+            return
+        batch = self.loader.batch_size
+        measured = mm["arena_bytes"] / batch
+        post_ana = activation_bytes_per_sample(self.model.graph)
+        adj.memory_model.observe(measured * (post_ana / pre_ana))
 
     # -- record extras ------------------------------------------------------
     def _make_record(self, epoch, train_loss, train_acc, comm_epoch):

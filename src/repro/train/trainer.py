@@ -86,6 +86,13 @@ class TrainerConfig:
     #: data-parallel step has its own execution path); any capture failure
     #: falls back to eager with a logged reason.
     compile_step: Optional[bool] = None
+    #: static memory planning for compiled plans (:mod:`repro.tensor.memplan`):
+    #: pack every plan-owned transient buffer into one liveness-shared arena
+    #: and report the exact peak bytes per epoch.  Bit-exact either way.
+    #: ``None`` defers to ``REPRO_MEM_PLAN`` (default on); the resolved value
+    #: is pinned onto the engine config for the duration of :meth:`train` so
+    #: replayed plans and recaptures agree on the engine signature.
+    mem_plan: Optional[bool] = None
     #: multi-worker execution backend for ``workers > 1``: ``"elastic"``
     #: spawns true worker *processes* exchanging gradients through shared
     #: memory (:class:`repro.distributed.ElasticEngine` — fault-tolerant,
@@ -135,6 +142,14 @@ class Trainer:
         if cs is None:
             cs = _ws._env_flag("REPRO_COMPILE_STEP", True)
         self._compile_enabled = bool(cs)
+        mp = self.cfg.mem_plan
+        if mp is None:
+            mp = _ws._env_flag("REPRO_MEM_PLAN", True)
+        self._mem_plan = bool(mp)
+        #: arena metrics of the most recent full-batch training plan
+        #: (``StepPlan.mem_metrics``); feeds the epoch record and, for
+        #: PruneTrain's measured-capacity batch sizing, the memory model
+        self._last_mem_metrics: Optional[Dict] = None
         #: shape-keyed plan caches (one per batch shape, so dynamic batch
         #: growth and the short tail batch each get their own plan); entries
         #: self-invalidate on workspace.PLAN_GENERATION bumps
@@ -196,6 +211,8 @@ class Trainer:
             if reason is None:
                 self.optimizer.zero_grad()
                 loss_arr, logits_arr = cached.run(xb, yb)
+                if xb.shape[0] == self.loader.batch_size:
+                    self._last_mem_metrics = cached.mem_metrics()
                 acc = float((logits_arr.argmax(1) == yb).mean())
                 return float(loss_arr), acc, 0.0
             # Stale within the same generation (engine config / parameter
@@ -216,6 +233,8 @@ class Trainer:
             self.model, xb, yb)
         if plan is not None:
             self._train_plans.store(key, plan)
+            if xb.shape[0] == self.loader.batch_size:
+                self._last_mem_metrics = plan.mem_metrics()
         else:
             self._train_plans.store(key, reason or "capture failed")
             self._note_fallback(reason)
@@ -264,6 +283,8 @@ class Trainer:
             self.on_run_start()
         if self.cfg.profile:
             PROFILER.enable(reset=True)
+        saved_mem_plan = _ws.config.mem_plan
+        _ws.config.mem_plan = self._mem_plan
         try:
             for epoch in range(start_epoch, self.cfg.epochs):
                 if self.cfg.profile:
@@ -310,6 +331,7 @@ class Trainer:
                           f"infF {rec.inference_flops/1e6:.2f}M "
                           f"batch {rec.batch_size}")
         finally:
+            _ws.config.mem_plan = saved_mem_plan
             self.shutdown()
         if self.cfg.profile:
             PROFILER.disable()
@@ -462,6 +484,11 @@ class Trainer:
             channel_sparsity=model_channel_sparsity(graph),
             removed_layers=graph.removed_layers(),
         )
+        mm = self._last_mem_metrics
+        if mm:
+            rec.mem_peak_bytes = float(mm["peak_bytes"])
+            rec.arena_bytes = float(mm["arena_bytes"])
+            rec.mem_plan_savings = float(mm["savings"])
         if self._elastic is not None:
             rec.dist_stall_time = self._epoch_stall
             rec.dist_active_workers = self._elastic.active_workers

@@ -237,6 +237,41 @@ class TestPlanCache:
         cache.drop(("k",))
         assert cache.lookup(("k",)) is None
 
+    def test_entry_cap_evicts_least_recently_used(self):
+        cache = PlanCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        assert cache.lookup(("a",)) == 1     # refresh "a": "b" is now LRU
+        cache.store(("c",), 3)
+        assert cache.lookup(("b",)) is None  # evicted
+        assert cache.lookup(("a",)) == 1
+        assert cache.lookup(("c",)) == 3
+        assert cache.evictions == 1 and len(cache) == 2
+
+    def test_restore_refreshes_lru_position(self):
+        cache = PlanCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        cache.store(("a",), 10)              # re-store also refreshes
+        cache.store(("c",), 3)
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) == 10
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_store_after_generation_bump_purges_stale_entries(self):
+        """Regression: a store right after a reconfiguration must not
+        re-stamp plans captured in the previous generation as current."""
+        cache = PlanCache()
+        cache.store(("old",), "stale-plan")
+        workspace.invalidate_plans()
+        cache.store(("new",), "fresh-plan")  # no lookup in between
+        assert cache.lookup(("old",)) is None
+        assert cache.lookup(("new",)) == "fresh-plan"
+        assert len(cache) == 1
+
 
 def test_stats_surface_in_profiler_summary():
     from repro.profiler import PROFILER

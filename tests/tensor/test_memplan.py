@@ -1,0 +1,252 @@
+"""Unit tests for the static memory planner (solver + compile integration).
+
+Solver tests drive :class:`MemPlanner` directly with hand-built request
+sequences; integration tests capture real training/forward plans and check
+that planning engages, aliases fire, replay is bit-identical to the
+unplanned build, and every failure path falls back cleanly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import workspace
+from repro.tensor.memplan import (ALIGN, MemPlanner, PlanError, STATS,
+                                  live_arena_bytes, live_arena_count)
+from repro.tensor.compile import capture_training_step
+
+from .test_compile import _batch, _model
+
+
+F32 = np.float32
+
+
+def _planned(mem):
+    """Run solve+materialize and flip into serve mode."""
+    mem.solve()
+    mem.materialize(workspace.PLAN_GENERATION)
+    return mem
+
+
+class TestSolver:
+    def test_disjoint_intervals_share_one_offset(self):
+        mem = MemPlanner(horizon=10)
+        mem.alloc((64,), F32, 0, 1, tag="a")
+        mem.alloc((64,), F32, 2, 3, tag="b")
+        mem.solve()
+        a, b = mem.slabs
+        assert a.offset == b.offset == 0
+        assert mem.arena_bytes == 256  # one 64-float slab, aligned
+
+    def test_overlapping_intervals_get_distinct_regions(self):
+        mem = MemPlanner(horizon=10)
+        mem.alloc((64,), F32, 0, 5, tag="a")
+        mem.alloc((64,), F32, 3, 8, tag="b")
+        mem.solve()
+        a, b = mem.slabs
+        assert {a.offset, b.offset} == {0, 256}
+        assert mem.arena_bytes == 512
+
+    def test_gap_fill_reuses_freed_hole(self):
+        # M dies at t=4 leaving a hole between A and B; D (t>=6) must land
+        # in that hole instead of extending the arena.
+        mem = MemPlanner(horizon=10)
+        mem.alloc((128,), F32, 0, 9, tag="A")   # 512B, pins offset 0
+        mem.alloc((64,), F32, 0, 4, tag="M")    # 256B hole donor
+        mem.alloc((32,), F32, 0, 9, tag="B")    # 128B after the hole
+        mem.alloc((32,), F32, 6, 9, tag="D")    # fits M's hole
+        mem.solve()
+        a, m, b, d = mem.slabs
+        assert (a.offset, m.offset, b.offset) == (0, 512, 768)
+        assert d.offset == 512
+        assert mem.arena_bytes == 896
+
+    def test_alias_collapses_onto_root_with_interval_union(self):
+        mem = MemPlanner(horizon=10)
+        mem.alloc((32,), F32, 0, 3, tag="x", out_slot=1)
+        mem.alloc((32,), F32, 2, 7, tag="y", alias_slot=1)
+        mem.solve()
+        x, y = mem.slabs
+        assert y.alias_of is x
+        assert (x.start, x.end) == (0, 7)  # union
+        assert mem.alias_buffers == 1
+        assert mem.arena_bytes == _align_up(32 * 4)
+
+    def test_alias_refused_on_shape_or_persistent_mismatch(self):
+        mem = MemPlanner(horizon=10)
+        mem.alloc((32,), F32, 0, 3, out_slot=1)
+        bad_shape = mem.alloc((16,), F32, 2, 4, alias_slot=1)
+        assert bad_shape.shape == (16,)
+        assert mem.slabs[-1].alias_of is None
+        mem2 = MemPlanner(horizon=10)
+        mem2.alloc((32,), F32, 0, 3, out_slot=1, persistent=True)
+        mem2.alloc((32,), F32, 2, 4, alias_slot=1)
+        assert mem2.slabs[-1].alias_of is None
+
+    def test_persistent_spans_whole_timeline(self):
+        mem = MemPlanner(horizon=10)
+        mem.alloc((8,), F32, 4, 4, persistent=True, zero=True)
+        mem.alloc((8,), F32, 0, 1)
+        mem.solve()
+        p, other = mem.slabs
+        assert (p.start, p.end) == (0, 10)
+        assert p.offset != other.offset  # never shared
+
+    def test_arena_never_exceeds_naive(self):
+        rng = np.random.default_rng(0)
+        mem = MemPlanner(horizon=50)
+        for _ in range(40):
+            a = int(rng.integers(0, 50))
+            b = int(rng.integers(0, 50))
+            mem.alloc((int(rng.integers(1, 500)),), F32, min(a, b),
+                      max(a, b))
+        mem.solve()
+        assert mem.peak_bytes <= mem.arena_bytes
+        assert mem.arena_bytes <= _align_up_sum(mem)
+        assert 0.0 <= mem.savings < 1.0
+
+    def test_serve_replays_in_order_and_zero_fills(self):
+        mem = MemPlanner(horizon=4)
+        mem.alloc((4,), F32, 0, 1, zero=True)
+        mem.alloc((4,), F32, 2, 3)
+        _planned(mem)
+        z = mem.alloc((4,), F32, 0, 1, zero=True)
+        assert np.array_equal(z, np.zeros(4, F32))
+        other = mem.alloc((4,), F32, 2, 3)
+        assert np.shares_memory(other, mem.arena)
+        assert np.shares_memory(z, mem.arena)
+        mem.finish()
+
+    def test_serve_divergence_raises(self):
+        mem = MemPlanner(horizon=4)
+        mem.alloc((4,), F32, 0, 1)
+        _planned(mem)
+        with pytest.raises(PlanError):
+            mem.alloc((8,), F32, 0, 1)     # wrong shape
+        mem2 = MemPlanner(horizon=4)
+        mem2.alloc((4,), F32, 0, 1)
+        _planned(mem2)
+        mem2.alloc((4,), F32, 0, 1)
+        with pytest.raises(PlanError):
+            mem2.alloc((4,), F32, 0, 1)    # more requests than planned
+
+    def test_finish_detects_underconsumption(self):
+        mem = MemPlanner(horizon=4)
+        mem.alloc((4,), F32, 0, 1)
+        mem.alloc((4,), F32, 2, 3)
+        _planned(mem)
+        mem.alloc((4,), F32, 0, 1)
+        with pytest.raises(PlanError):
+            mem.finish()
+
+    def test_double_materialize_raises(self):
+        mem = MemPlanner(horizon=4)
+        mem.alloc((4,), F32, 0, 1)
+        _planned(mem)
+        with pytest.raises(PlanError):
+            mem.materialize(workspace.PLAN_GENERATION)
+
+
+def _align_up(n):
+    return (n + ALIGN - 1) // ALIGN * ALIGN
+
+
+def _align_up_sum(mem):
+    return sum(_align_up(s.nbytes) for s in mem.slabs)
+
+
+class TestArenaRegistry:
+    def test_live_arena_accounting_follows_plan_lifetime(self):
+        base_count = live_arena_count()
+        base_bytes = live_arena_bytes()
+        mem = MemPlanner(horizon=4)
+        mem.alloc((1024,), F32, 0, 1)
+        _planned(mem)
+        assert live_arena_count() == base_count + 1
+        assert live_arena_bytes() >= base_bytes + 4096
+        del mem
+        assert live_arena_count() == base_count
+        assert live_arena_bytes() == base_bytes
+
+
+class TestCompileIntegration:
+    @pytest.fixture(autouse=True)
+    def _planner_on(self):
+        """Pin the planner on: these tests assert planner behaviour and must
+        not depend on the suite-level REPRO_MEM_PLAN default (the CI matrix
+        runs a leg with it disabled)."""
+        saved = workspace.config.mem_plan
+        workspace.config.mem_plan = True
+        try:
+            yield
+        finally:
+            workspace.config.mem_plan = saved
+
+    def _capture(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x, y = _batch(rng)
+        model = _model()
+        plan, loss_t, logits_t, reason = capture_training_step(model, x, y)
+        assert reason is None, reason
+        loss_t.backward()
+        return model, plan, x, y
+
+    def test_planner_engages_and_reports(self):
+        STATS.reset()
+        _, plan, _, _ = self._capture()
+        m = plan.mem_metrics()
+        assert m is not None
+        assert 0 < m["arena_bytes"] <= m["naive_bytes"]
+        assert 0 < m["peak_bytes"] <= m["arena_bytes"]
+        assert m["savings"] > 0.2
+        assert STATS.plans == 1 and STATS.fallbacks == 0
+
+    def test_residual_alias_buffers_fire(self):
+        # The test model (see test_compile._model) has a residual
+        # add+relu join: at least one alias must have been taken.
+        _, plan, _, _ = self._capture()
+        assert plan.mem_metrics()["alias_buffers"] >= 1
+
+    def test_planned_replay_bit_identical_to_unplanned(self):
+        model, plan_on, x, y = self._capture()
+        saved = workspace.config.mem_plan
+        try:
+            workspace.config.mem_plan = False
+            model2, plan_off, _, _ = self._capture()
+        finally:
+            workspace.config.mem_plan = saved
+        assert plan_off.mem_metrics() is None
+        rng = np.random.default_rng(99)
+        x2 = rng.standard_normal(x.shape).astype(np.float32)
+        for _ in range(3):
+            l1, g1 = plan_on.run(x2, y)
+            l2, g2 = plan_off.run(x2, y)
+            assert np.array_equal(l1, l2)
+            assert np.array_equal(g1, g2)
+            for (n, p1), (_, p2) in zip(model.named_parameters(),
+                                        model2.named_parameters()):
+                assert np.array_equal(p1.grad.data, p2.grad.data), n
+                p1.grad = p2.grad = None
+
+    def test_mem_plan_off_is_recorded_in_engine_sig(self):
+        model, plan, x, y = self._capture()
+        saved = workspace.config.mem_plan
+        try:
+            workspace.config.mem_plan = False
+            assert plan.invalid_reason() is not None
+        finally:
+            workspace.config.mem_plan = saved
+        assert plan.invalid_reason() is None
+
+    def test_solver_failure_falls_back_to_unplanned(self, monkeypatch):
+        from repro.tensor import memplan
+        STATS.reset()
+
+        def boom(self):
+            raise PlanError("forced")
+
+        monkeypatch.setattr(memplan.MemPlanner, "solve", boom)
+        _, plan, _, _ = self._capture(seed=3)
+        assert plan is not None              # plan still built, unplanned
+        assert plan.mem_metrics() is None
+        assert STATS.fallbacks == 1
+        assert STATS.last_fallback_reason == "forced"

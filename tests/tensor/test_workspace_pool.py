@@ -46,6 +46,24 @@ class TestPoolMechanics:
         assert b is a, "released buffer must be recycled"
         assert pool.stats.hits == 1 and pool.stats.misses == 1
 
+    def test_overflow_release_counts_eviction(self):
+        """A release onto a full free list drops the buffer and says so."""
+        pool = WorkspacePool(max_per_key=2)
+        bufs = [pool.acquire((8, 8), np.float32) for _ in range(3)]
+        for b in bufs:
+            pool.release(b)
+        assert pool.stats.evictions == 1
+        assert pool.stats.bytes_evicted == bufs[0].nbytes
+        assert pool.cached_bytes == 2 * bufs[0].nbytes
+        # a different key has its own headroom
+        c = pool.acquire((4,), np.float32)
+        pool.release(c)
+        assert pool.stats.evictions == 1
+        d = pool.stats.as_dict()
+        assert d["evictions"] == 1 and d["bytes_evicted"] == bufs[0].nbytes
+        pool.stats.reset()
+        assert pool.stats.evictions == pool.stats.bytes_evicted == 0
+
     def test_release_resolves_views(self):
         pool = WorkspacePool()
         a = pool.acquire((4, 6), np.float32)

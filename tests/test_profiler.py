@@ -52,6 +52,12 @@ class TestOptIn:
             stats = PROFILER.summary()
         assert "_workspace" in stats
         assert stats["_workspace"]["hits"] >= 0
+        assert stats["_workspace"]["evictions"] >= 0
+        assert stats["_workspace"]["bytes_evicted"] >= 0
+        assert "_memplan" in stats
+        for key in ("plans", "arena_bytes", "naive_bytes", "peak_bytes",
+                    "fallbacks", "live_arenas", "live_arena_bytes"):
+            assert key in stats["_memplan"]
         PROFILER.reset()
 
 

@@ -32,7 +32,7 @@ def data():
     return train, val
 
 
-def _trainer(data, ckpt_dir, compile_step):
+def _trainer(data, ckpt_dir, compile_step, mem_plan=None):
     train, val = data
     model = resnet20(10, width_mult=0.375, input_hw=8, seed=0)
     # nudge one residual-path conv toward death so the first
@@ -43,7 +43,7 @@ def _trainer(data, ckpt_dir, compile_step):
         penalty_ratio=0.3, reconfig_interval=2, lambda_scale=400.0,
         threshold=None, zero_sparse=True,
         checkpoint_every=1, checkpoint_dir=ckpt_dir, checkpoint_keep=0,
-        compile_step=compile_step)
+        compile_step=compile_step, mem_plan=mem_plan)
     cap = iteration_memory_bytes(model.graph, 32) * 4
     adjuster = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
                                     max_batch=128)
@@ -59,18 +59,21 @@ def _assert_velocities_identical(t1, t2):
                               t2.optimizer.state_for(p2)), f"{n} velocity"
 
 
-class TestCompiledPruneTrainBitExact:
-    @pytest.fixture(scope="class")
-    def runs(self, data, tmp_path_factory):
-        eager = _trainer(data, str(tmp_path_factory.mktemp("eager")),
-                         compile_step=False)
-        log_eager = eager.train()
-        STATS.reset()
-        compiled = _trainer(data, str(tmp_path_factory.mktemp("compiled")),
-                            compile_step=True)
-        log_compiled = compiled.train()
-        return eager, log_eager, compiled, log_compiled
+@pytest.fixture(scope="module")
+def runs(data, tmp_path_factory):
+    eager = _trainer(data, str(tmp_path_factory.mktemp("eager")),
+                     compile_step=False)
+    log_eager = eager.train()
+    STATS.reset()
+    # mem_plan pinned on (not left to the REPRO_MEM_PLAN default): the
+    # planner-vs-off differential below must hold on every CI matrix leg
+    compiled = _trainer(data, str(tmp_path_factory.mktemp("compiled")),
+                        compile_step=True, mem_plan=True)
+    log_compiled = compiled.train()
+    return eager, log_eager, compiled, log_compiled
 
+
+class TestCompiledPruneTrainBitExact:
     def test_run_exercised_every_dynamic(self, runs):
         eager, log_eager, _, _ = runs
         assert eager.reports[0].channels_pruned > 0
@@ -99,6 +102,60 @@ class TestCompiledPruneTrainBitExact:
         ckpt = checkpoint_path(compiled.cfg.checkpoint_dir, 2)
         resumed = _trainer(data, str(tmp_path / "resumed"),
                            compile_step=True)
+        log_res = resumed.train(resume_from=ckpt)
+        assert_logs_identical(log_eager, log_res)
+        assert_models_identical(eager.model, resumed.model)
+        _assert_velocities_identical(eager, resumed)
+
+
+class TestMemPlanBitExact:
+    """The memory planner changes *where* plan buffers live, never values.
+
+    The compiled run above already exercises planner-on (mem_plan pinned
+    on) across pruning, layer removal, batch growth, and
+    kill/resume; here the same schedule runs with the planner forced off
+    and every bit must agree — plus the planner-on run must actually have
+    planned (per-epoch arena metrics recorded).
+    """
+
+    @pytest.fixture(scope="class")
+    def planner_off(self, data, tmp_path_factory):
+        t = _trainer(data, str(tmp_path_factory.mktemp("noplan")),
+                     compile_step=True, mem_plan=False)
+        return t, t.train()
+
+    def test_planner_on_off_bit_identical(self, runs, planner_off):
+        _, log_eager, compiled, log_on = runs
+        off, log_off = planner_off
+        assert_logs_identical(log_on, log_off)
+        assert_logs_identical(log_eager, log_off)
+        assert_models_identical(compiled.model, off.model)
+        _assert_velocities_identical(compiled, off)
+
+    def test_planner_on_recorded_arena_metrics(self, runs):
+        _, _, _, log_on = runs
+        for rec in log_on.records:
+            assert rec.arena_bytes > 0
+            assert rec.mem_peak_bytes > 0
+            assert 0.0 < rec.mem_plan_savings < 1.0
+        # pruning shrinks the model, so the planned footprint per sample
+        # must shrink too (raw arena bytes can grow: the freed memory is
+        # deliberately refilled by dynamic batch growth)
+        first, last = log_on.records[0], log_on.records[-1]
+        assert (last.arena_bytes / last.batch_size
+                < first.arena_bytes / first.batch_size)
+
+    def test_planner_off_recorded_no_metrics(self, planner_off):
+        _, log_off = planner_off
+        assert all(r.arena_bytes == 0 for r in log_off.records)
+
+    def test_resume_across_planner_configs(self, runs, data, tmp_path):
+        """A checkpoint written by a planner-on run resumes bit-exactly in
+        a planner-off trainer: plan layout is not run state."""
+        eager, log_eager, compiled, _ = runs
+        ckpt = checkpoint_path(compiled.cfg.checkpoint_dir, 2)
+        resumed = _trainer(data, str(tmp_path / "res-noplan"),
+                           compile_step=True, mem_plan=False)
         log_res = resumed.train(resume_from=ckpt)
         assert_logs_identical(log_eager, log_res)
         assert_models_identical(eager.model, resumed.model)
