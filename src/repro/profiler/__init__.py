@@ -104,8 +104,8 @@ class OpProfiler:
 
     # -- reporting ---------------------------------------------------------
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-op stats plus workspace-pool, step-plan, and memory-planner
-        counters."""
+        """Per-op stats plus workspace-pool, step-plan, memory-planner,
+        and parallel-replay counters."""
         out = {name: st.as_dict() for name, st in self._stats.items()}
         try:
             from ..tensor import workspace
@@ -120,6 +120,11 @@ class OpProfiler:
         try:
             from ..tensor import memplan
             out["_memplan"] = memplan.STATS.as_dict()
+        except ImportError:  # pragma: no cover - circular-import guard
+            pass
+        try:
+            from ..tensor import parallel
+            out["_parallel"] = parallel.STATS.as_dict()
         except ImportError:  # pragma: no cover - circular-import guard
             pass
         return out

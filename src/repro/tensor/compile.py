@@ -47,6 +47,7 @@ new batch size simply captures a new plan.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -54,6 +55,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from . import memplan as _mp
+from . import parallel as _par
 from . import workspace as ws
 from .ops import conv as _conv
 from .ops import loss as _loss
@@ -177,6 +179,21 @@ class _Lifetimes:
             end = max(end, self.fwd_t[id(c)] + 1, self._end_of(c))
         return end
 
+    def value_ticks(self, rec: _Record) -> List[int]:
+        """Every timeline position that touches ``rec``'s output value —
+        the same set :meth:`value_end` maxes over.  Level-scheduled replay
+        needs the full set: the serially-last toucher is not necessarily
+        the deepest-scheduled one, so the remapped slab must span all of
+        their levels (see :meth:`memplan.MemPlanner.remap`)."""
+        slot = self.tape.slot_of[id(rec.out)]
+        ticks = [self.fwd_t[id(rec)], self._end_of(rec)]
+        if slot in self._escaping:
+            ticks.append(self.horizon)
+        for c in self.consumers.get(slot, ()):
+            ticks.append(self.fwd_t[id(c)] + 1)
+            ticks.append(self._end_of(c))
+        return ticks
+
     def grad_end(self, x: Tensor) -> Optional[int]:
         """Last use of a gradient buffer donated toward ``x``: the
         backward thunk of x's producer consumes (and releases) it.
@@ -233,6 +250,199 @@ class _Record:
         self.inputs = inputs
         self.out = out
         self.attrs = attrs
+
+
+def _split_backward(rec: _Record) -> bool:
+    """Whether ``rec``'s backward thunk is split into dw/dx/fin parts for
+    level scheduling.  Only the einsum conv qualifies: its weight-gradient
+    GEMM (plus column regather) is independent of the ``dx`` chain the
+    rest of the backward waits on, so splitting takes it off the critical
+    path.  Requires ``need_dx`` — without a dx the whole thunk is already
+    a leaf of the gradient dataflow."""
+    return (rec.kind == "conv2d" and ws.config.conv_impl == "einsum"
+            and bool(rec.attrs[2]))
+
+
+def _release_fin(grads: list, o: int):
+    """Final part of a split backward: retire the output-grad slot.
+
+    Runs after both the ``dw`` and ``dx`` parts (the schedule adds both
+    edges), reproducing the tail of the unsplit thunk exactly.
+    """
+    def bwd_fin() -> None:
+        g = grads[o]
+        grads[o] = None
+        if g is not None:
+            ws.release(g)
+    return bwd_fin
+
+
+#: Arena growth tolerance for level-scheduled packing, relative to the
+#: serial solve of the same slabs.  Concurrent thunks may never share
+#: bytes, so the parallel arena is naturally larger; past this cap the
+#: schedule trades parallelism back (serializing the widest level) rather
+#: than growing the arena unboundedly.
+_ARENA_GROWTH_CAP = 2.0
+
+#: Absolute slack on top of the relative cap: tiny plans (a few hundred
+#: KB of slabs) should never trade parallelism over rounding-sized
+#: inflation, so the cap is floored at serial + this many bytes.
+_ARENA_GROWTH_FLOOR = 1 << 20
+
+
+class _ParallelSchedule:
+    """Dependency levels for one train plan's thunks.
+
+    Nodes: one per forward thunk, a loss-gradient seed node, and one per
+    backward thunk — except split convs (:func:`_split_backward`), whose
+    backward contributes three nodes (``dw`` weight-grad, ``dx``
+    input-grad, ``fin`` release).  Edges pin everything bit-exactness
+    depends on:
+
+    - forward dataflow (consumer after producer);
+    - every backward part after its op's forward thunk (it reads the
+      forward's staged values/ctx);
+    - every backward part after the *last writer* of the gradient slot it
+      consumes, with multiple writers into one slot **chained in serial
+      backward order** — this is the deterministic-reduction guarantee:
+      ``+=`` into a gradient buffer happens in the exact eager order, so
+      parallel replay is bit-identical to serial replay;
+    - writers into one *leaf* ``.grad`` chained the same way (weight
+      sharing);
+    - ``fin`` after its ``dw``/``dx`` (it releases the gradient buffer
+      both read).
+
+    Levels come from longest-path layering over these edges; all nodes of
+    one level are mutually independent and may run concurrently.  The
+    schedule also re-times memory-plan slabs onto the level timeline
+    (:meth:`map_interval`) so the arena packer can never share bytes
+    between co-scheduled thunks.
+    """
+
+    def __init__(self, tape: "Tape", bwd_nodes: List[Tensor],
+                 lt: _Lifetimes, loss: Tensor):
+        g = _par.LevelSchedule()
+        self.graph = g
+        records = tape.records
+        n_fwd = len(records)
+        fwd_idx = {id(rec): i for i, rec in enumerate(records)}
+        slot_producer: Dict[int, int] = {}
+        self.fwd_node: List[int] = []
+        for i, rec in enumerate(records):
+            self.fwd_node.append(g.add_node(f"f{i}:{rec.kind}"))
+            slot_producer[tape.slot_of[id(rec.out)]] = i
+        for i, rec in enumerate(records):
+            for t in rec.inputs:
+                if t is None:
+                    continue
+                slot = tape.slot_of.get(id(t))
+                if slot is not None and slot in slot_producer:
+                    g.add_edge(self.fwd_node[slot_producer[slot]],
+                               self.fwd_node[i])
+        # The loss-gradient seed (grads[loss] = ones_like(loss)) reads the
+        # loss value, so it follows the loss op's forward.
+        self.seed_node = g.add_node("seed")
+        loss_rec = tape.rec_of[id(loss)]
+        g.add_edge(self.fwd_node[fwd_idx[id(loss_rec)]], self.seed_node)
+
+        self.split = {id(tape.rec_of[id(n)]) for n in bwd_nodes
+                      if _split_backward(tape.rec_of[id(n)])}
+        self.bwd_parts: List[tuple] = []
+        writers: Dict[int, List[int]] = {
+            tape.slot_of[id(loss)]: [self.seed_node]}
+        leaf_writers: Dict[int, List[int]] = {}
+        for j, bn in enumerate(bwd_nodes):
+            rec = tape.rec_of[id(bn)]
+            o_slot = tape.slot_of[id(rec.out)]
+            if id(rec) in self.split:
+                dw = g.add_node(f"b{j}.dw:{rec.kind}")
+                dx = g.add_node(f"b{j}.dx:{rec.kind}")
+                fin = g.add_node(f"b{j}.fin:{rec.kind}")
+                parts = (dw, dx, fin)
+                g.add_edge(dw, fin)
+                g.add_edge(dx, fin)
+                slot_writer, leaf_writer = dx, dw
+            else:
+                nd = g.add_node(f"b{j}:{rec.kind}")
+                parts = (nd,)
+                slot_writer = leaf_writer = nd
+            self.bwd_parts.append(parts)
+            f_node = self.fwd_node[fwd_idx[id(rec)]]
+            wlist = writers.get(o_slot)
+            for p in parts:
+                g.add_edge(f_node, p)
+                if wlist:
+                    g.add_edge(wlist[-1], p)
+            for t in rec.inputs:
+                if t is None:
+                    continue
+                slot = tape.slot_of.get(id(t))
+                if slot is not None:
+                    lst = writers.setdefault(slot, [])
+                    if lst:
+                        g.add_edge(lst[-1], slot_writer)
+                    lst.append(slot_writer)
+                else:
+                    lst = leaf_writers.setdefault(id(t), [])
+                    if lst:
+                        g.add_edge(lst[-1], leaf_writer)
+                    lst.append(leaf_writer)
+        g.compute_levels()
+        #: serial thunk index -> its schedule nodes (fwd thunks first,
+        #: then backward thunks, matching the _Lifetimes timeline)
+        self._thunk_nodes: List[List[int]] = \
+            [[n] for n in self.fwd_node] + [list(p) for p in self.bwd_parts]
+        self._horizon = lt.horizon
+        self._refresh_spans()
+        _par.STATS.schedules += 1
+        _par.STATS.max_width = max(_par.STATS.max_width,
+                                   max(len(l) for l in g.levels))
+
+    # -- level/tick bookkeeping -------------------------------------------
+    def _refresh_spans(self) -> None:
+        level_of = self.graph.level_of
+        self._lmin = [min(level_of[n] for n in nodes)
+                      for nodes in self._thunk_nodes]
+        self._lmax = [max(level_of[n] for n in nodes)
+                      for nodes in self._thunk_nodes]
+        self.n_levels = len(self.graph.levels)
+
+    def map_interval(self, ticks) -> Tuple[int, int]:
+        """Map a slab's serial touch ticks onto the level timeline.
+
+        Each touched thunk contributes its full level span (a split
+        backward spans ``dw``..``fin``); the slab must stay live across
+        all of them.  Ticks at/past the horizon (escaping buffers) pin to
+        a past-the-end level.
+        """
+        lo = hi = None
+        for t in ticks:
+            if t >= self._horizon:
+                a, b = 2 * self.n_levels, 2 * self.n_levels + 1
+            else:
+                n = t // 2
+                a, b = 2 * self._lmin[n], 2 * self._lmax[n] + 1
+            lo = a if lo is None or a < lo else lo
+            hi = b if hi is None or b > hi else hi
+        return lo, hi
+
+    def serialize_widest(self) -> bool:
+        """Chain the widest level's nodes (arena growth guard); returns
+        False when no level has width > 1 (nothing left to trade)."""
+        li = self.graph.widest_level()
+        if li < 0:
+            return False
+        self.graph.serialize_level(li)
+        self._refresh_spans()
+        _par.STATS.levels_serialized += 1
+        return True
+
+    def info(self) -> Dict[str, object]:
+        g = self.graph
+        return {"nodes": g.n_nodes,
+                "levels": len(g.levels),
+                "widths": [len(l) for l in g.levels],
+                "level_names": [[g.names[n] for n in l] for l in g.levels]}
 
 
 class Tape:
@@ -398,17 +608,23 @@ class Tape:
         if len(self._input_slots) != 1:
             raise _CaptureError("exactly one marked input is required")
         lt = _Lifetimes(self, bwd_nodes, kind, loss, logits)
+        sched = None
+        if (kind == "train" and ws.config.parallel_replay
+                and ws.config.replay_workers >= 2):
+            sched = _ParallelSchedule(self, bwd_nodes, lt, loss)
         if ws.config.mem_plan:
             try:
-                return self._build_planned(kind, bwd_nodes, loss, logits, lt)
+                return self._build_planned(kind, bwd_nodes, loss, logits,
+                                           lt, sched)
             except _mp.PlanError as e:
                 _mp.STATS.fallbacks += 1
                 _mp.STATS.last_fallback_reason = str(e)
-        return self._assemble(kind, bwd_nodes, loss, logits, lt, mem=None)
+        return self._assemble(kind, bwd_nodes, loss, logits, lt, mem=None,
+                              sched=sched)
 
     def _build_planned(self, kind: str, bwd_nodes: List[Tensor],
                        loss: Optional[Tensor], logits: Tensor,
-                       lt: _Lifetimes) -> "StepPlan":
+                       lt: _Lifetimes, sched) -> "StepPlan":
         """Two-pass build: size the arena, then assemble thunks over it.
 
         Pass 1 runs the builder in *plan* mode — every plan-owned buffer
@@ -419,36 +635,105 @@ class Tape:
         mode, so the kept thunks close over arena views instead of
         private arrays.  Any divergence raises ``PlanError`` and
         :meth:`_build` falls back to unplanned buffers.
+
+        With a parallel schedule the packing becomes concurrency-aware:
+        slabs are re-timed onto the level timeline (same-level thunks get
+        overlapping intervals, so they never share bytes) and the solve
+        iterates against the arena growth guard — when the level-timed
+        arena exceeds ``_ARENA_GROWTH_CAP`` times the serial solve, the
+        widest level is serialized and the layout re-solved, trading
+        parallelism for footprint instead of growing unboundedly.
         """
         mem = _mp.MemPlanner(lt.horizon)
         scratch = StepPlan(kind=kind, n_slots=self._n_slots,
                            input_slot=self._input_slots[0])
         sizer = _PlanBuilder(self, scratch, keep_ctx=(kind == "train"),
-                             lt=lt, mem=mem)
+                             lt=lt, mem=mem, sched=sched)
         for rec in self.records:
             sizer.build(rec)
-        mem.solve()
+        if sched is None:
+            mem.solve()
+        else:
+            serial_arena = mem.solve()
+            cap = max(int(serial_arena * _ARENA_GROWTH_CAP),
+                      serial_arena + _ARENA_GROWTH_FLOOR)
+            while True:
+                mem.remap(sched.map_interval)
+                if mem.solve() <= cap or not sched.serialize_widest():
+                    break
         mem.materialize(ws.PLAN_GENERATION)
-        plan = self._assemble(kind, bwd_nodes, loss, logits, lt, mem=mem)
+        plan = self._assemble(kind, bwd_nodes, loss, logits, lt, mem=mem,
+                              sched=sched)
         mem.finish()
         return plan
 
     def _assemble(self, kind: str, bwd_nodes: List[Tensor],
                   loss: Optional[Tensor], logits: Tensor,
-                  lt: _Lifetimes, mem) -> "StepPlan":
+                  lt: _Lifetimes, mem, sched=None) -> "StepPlan":
         plan = StepPlan(kind=kind, n_slots=self._n_slots,
                         input_slot=self._input_slots[0])
         builder = _PlanBuilder(self, plan, keep_ctx=(kind == "train"),
-                               lt=lt, mem=mem)
+                               lt=lt, mem=mem, sched=sched)
         pairs = {id(rec): builder.build(rec) for rec in self.records}
         plan._fwd = [pairs[id(rec)][0] for rec in self.records]
-        plan._bwd = [pairs[id(self.rec_of[id(n)])][1] for n in bwd_nodes]
+        if sched is None:
+            plan._bwd = [pairs[id(self.rec_of[id(n)])][1] for n in bwd_nodes]
+        else:
+            self._assemble_levels(plan, pairs, bwd_nodes, sched)
         plan._logits_slot = self.slot_of[id(logits)]
         plan._loss_slot = self.slot_of[id(loss)] if loss is not None else -1
         plan._leaf_shapes = builder.leaf_shapes()
         plan._n_ops = len(self.records)
         plan._mem = mem
         return plan
+
+    def _assemble_levels(self, plan: "StepPlan", pairs, bwd_nodes, sched
+                         ) -> None:
+        """Bind schedule nodes to thunks and group them into levels.
+
+        ``plan._bwd`` still receives the flat part sequence in serial
+        order (``dw``, ``dx``, ``fin`` for split convs).  On an
+        *unplanned* build executing it serially is bit-equivalent to the
+        unsplit thunks, which tests use to cross-check the split itself.
+        On a planned build the arena is packed against *level* liveness,
+        which the flat serial order does not respect — every replay of a
+        planned parallel plan must go through the levels
+        (:meth:`StepPlan._run_levels` / :meth:`StepPlan.replay_timed`).
+        """
+        node_fn: Dict[int, Callable[[], None]] = {}
+        for i, rec in enumerate(self.records):
+            node_fn[sched.fwd_node[i]] = pairs[id(rec)][0]
+        values, grads = plan._values, plan._grads
+
+        def seed() -> None:
+            grads[plan._loss_slot] = np.ones_like(values[plan._loss_slot])
+
+        node_fn[sched.seed_node] = seed
+        bwd_flat: List[Callable[[], None]] = []
+        for j, n in enumerate(bwd_nodes):
+            rec = self.rec_of[id(n)]
+            thunks = pairs[id(rec)][1]
+            parts = sched.bwd_parts[j]
+            if len(parts) == 3:
+                if not (isinstance(thunks, tuple) and len(thunks) == 3):
+                    raise _CaptureError(
+                        f"schedule split {rec.kind} but builder did not")
+                for nd, fn in zip(parts, thunks):
+                    node_fn[nd] = fn
+                bwd_flat.extend(thunks)
+            else:
+                if isinstance(thunks, tuple):
+                    raise _CaptureError(
+                        f"builder split {rec.kind} but schedule did not")
+                node_fn[parts[0]] = thunks
+                bwd_flat.append(thunks)
+        plan._bwd = bwd_flat
+        plan._levels = [[node_fn[nd] for nd in lvl]
+                        for lvl in sched.graph.levels]
+        plan._level_names = [[sched.graph.names[nd] for nd in lvl]
+                             for lvl in sched.graph.levels]
+        plan._workers = ws.config.replay_workers
+        plan._schedule = sched
 
 
 class _PlanBuilder:
@@ -461,7 +746,7 @@ class _PlanBuilder:
     """
 
     def __init__(self, tape: Tape, plan: "StepPlan", keep_ctx: bool,
-                 lt: Optional[_Lifetimes] = None, mem=None):
+                 lt: Optional[_Lifetimes] = None, mem=None, sched=None):
         self.tape = tape
         self.plan = plan
         self.keep_ctx = keep_ctx
@@ -471,6 +756,9 @@ class _PlanBuilder:
         #: plan-owned buffer is a private allocation, the PR-3 layout)
         self.lt = lt
         self.mem = mem
+        #: parallel schedule (None -> serial plan; split convs return
+        #: (dw, dx, fin) backward part tuples instead of one thunk)
+        self.sched = sched
 
     # -- planned buffer allocation ----------------------------------------
     # Each helper maps one buffer class to its liveness interval and
@@ -489,7 +777,8 @@ class _PlanBuilder:
         t = self.lt.fwd_t[id(rec)]
         return self.mem.alloc(shape, dtype, t, self.lt.value_end(rec),
                               tag=rec.kind + ".y", out_slot=o,
-                              alias_slot=alias_slot)
+                              alias_slot=alias_slot,
+                              ticks=self.lt.value_ticks(rec))
 
     def _span_buf(self, rec: _Record, shape, dtype, tag: str = "") \
             -> np.ndarray:
@@ -650,6 +939,11 @@ class _PlanBuilder:
         dtype = x.data.dtype
         o = self.tape.slot_of[id(rec.out)]
         values, grads = self.plan._values, self.plan._grads
+        # Level scheduling splits this backward into dw/dx/fin parts (the
+        # weight-grad GEMM is off the dx critical chain); the parts in
+        # serial order perform the identical kernel calls on identical
+        # operands as the single thunk, so the split never changes bits.
+        split_bwd = self.sched is not None and id(rec) in self.sched.split
         from . import functional as F
 
         if _conv._is_pointwise(r, s, padding):
@@ -698,6 +992,36 @@ class _PlanBuilder:
                                          late=True)
                     dx4 = dx3.reshape(n, c, h, wd)
             sink_x = self._sink_donate(x) if need_dx else None
+
+            if split_bwd:
+                def bwd_dw() -> None:
+                    g = grads[o]
+                    if g is None:
+                        return
+                    dym = g.reshape(n, k, ho * wo)
+                    if stride > 1:
+                        np.matmul(dym, xmT, out=dwn)
+                    else:
+                        np.matmul(dym, xbox[0].transpose(0, 2, 1), out=dwn)
+                    dw = np.add.reduce(dwn, axis=0).reshape(k, c, 1, 1)
+                    F._give_grad(w_t, dw)
+                    if b_t is not None:
+                        F._give_grad(b_t, g.sum(axis=(0, 2, 3)))
+
+                def bwd_dx() -> None:
+                    g = grads[o]
+                    if g is None:
+                        return
+                    dym = g.reshape(n, k, ho * wo)
+                    if stride > 1:
+                        np.matmul(w2t, dym, out=tmp3)
+                        dx_buf.fill(0)
+                        dx_buf[:, :, ::stride, ::stride] = tmp4
+                        sink_x(dx_buf)
+                    else:
+                        np.matmul(w2t, dym, out=dx3)
+                        sink_x(dx4)
+                return fwd, (bwd_dw, bwd_dx, _release_fin(grads, o))
 
             def bwd() -> None:
                 g = grads[o]
@@ -900,6 +1224,26 @@ class _PlanBuilder:
                 return dx_view
         else:
             compute_dx = None
+
+        if split_bwd:
+            def bwd_dw() -> None:
+                g = grads[o]
+                if g is None:
+                    return
+                if regather is not None:
+                    regather()
+                np.matmul(g.reshape(n, k, ho * wo), cols_bT, out=dwn)
+                F._give_grad(w_t,
+                             np.add.reduce(dwn, axis=0).reshape(k, c, r, s))
+                if b_t is not None:
+                    F._give_grad(b_t, g.sum(axis=(0, 2, 3)))
+
+            def bwd_dx() -> None:
+                g = grads[o]
+                if g is None:
+                    return
+                sink_x(compute_dx(g))
+            return fwd, (bwd_dw, bwd_dx, _release_fin(grads, o))
 
         def bwd() -> None:
             g = grads[o]
@@ -1482,9 +1826,18 @@ class StepPlan:
         #: the arena planner backing this plan's buffers (None when the
         #: plan was built unplanned — mem_plan off or planner fallback)
         self._mem = None
+        #: level-scheduled replay (:mod:`repro.tensor.parallel`): thunks
+        #: grouped into dependency levels, or None for serial replay.
+        #: ``_bwd`` always holds the flat serial order regardless.
+        self._levels: Optional[List[List[Callable[[], None]]]] = None
+        self._level_names: Optional[List[List[str]]] = None
+        self._workers = 1
+        self._schedule = None
         self.generation = ws.PLAN_GENERATION
         self.engine_sig = (ws.config.pooling, ws.config.fused_bnrelu,
-                           ws.config.conv_impl, ws.config.mem_plan)
+                           ws.config.conv_impl, ws.config.mem_plan,
+                           ws.config.parallel_replay,
+                           ws.config.replay_workers)
 
     # -- validation --------------------------------------------------------
     def invalid_reason(self) -> Optional[str]:
@@ -1492,7 +1845,9 @@ class StepPlan:
         if self.generation != ws.PLAN_GENERATION:
             return "model reconfigured since capture"
         if (ws.config.pooling, ws.config.fused_bnrelu,
-                ws.config.conv_impl, ws.config.mem_plan) != self.engine_sig:
+                ws.config.conv_impl, ws.config.mem_plan,
+                ws.config.parallel_replay,
+                ws.config.replay_workers) != self.engine_sig:
             return "engine configuration changed since capture"
         for t, shape in self._leaf_shapes:
             if t.data.shape != shape:
@@ -1518,13 +1873,18 @@ class StepPlan:
         grads = self._grads
         values[self._input_slot] = x
         self._tbox[0] = targets
-        for f in self._fwd:
-            f()
-        loss = values[self._loss_slot]
-        logits = values[self._logits_slot]
-        grads[self._loss_slot] = np.ones_like(loss)
-        for b in self._bwd:
-            b()
+        if self._levels is not None:
+            self._run_levels()
+            loss = values[self._loss_slot]
+            logits = values[self._logits_slot]
+        else:
+            for f in self._fwd:
+                f()
+            loss = values[self._loss_slot]
+            logits = values[self._logits_slot]
+            grads[self._loss_slot] = np.ones_like(loss)
+            for b in self._bwd:
+                b()
         # Drop activation references eagerly (peak-memory parity with the
         # eager engine, whose graph teardown frees them in backward()).
         for i in range(self.n_slots):
@@ -1535,6 +1895,64 @@ class StepPlan:
         STATS.replays += 1
         STATS.replay_seconds += time.perf_counter() - t0
         return loss, logits
+
+    def _run_levels(self) -> None:
+        """Level-scheduled replay on the worker pool.
+
+        Each level's thunks are mutually independent (the schedule proves
+        it); levels execute in order with a barrier between them.  BLAS is
+        clamped to one thread per call while the pool is active so the
+        replay threads don't oversubscribe cores that BLAS already uses.
+        """
+        pool = _par.get_pool(self._workers)
+        stats = _par.STATS
+        t0 = time.perf_counter()
+        level_times: List[float] = []
+        with pool.caller_lock, _par.limit_blas_threads(1):
+            for level in self._levels:
+                lt0 = time.perf_counter()
+                pool.run_level(level)
+                level_times.append(time.perf_counter() - lt0)
+        stats.replays += 1
+        stats.levels_run += len(self._levels)
+        stats.thunks_run += sum(len(lvl) for lvl in self._levels)
+        stats.replay_seconds += time.perf_counter() - t0
+        stats.last_levels = [(len(self._levels[i]), dt)
+                             for i, dt in enumerate(level_times)]
+
+    def replay_timed(self, x: np.ndarray, targets: np.ndarray):
+        """Replay one step on the calling thread, timing every thunk.
+
+        Parallel plans only.  Executes level by level (nodes of one level
+        in order) — level order is a valid topological order, and, unlike
+        the flat serial order, respects the level-timed arena layout this
+        plan was packed against.  Returns ``(loss, logits, level_seconds)``
+        with ``level_seconds[i][j]`` the wall time of level ``i``'s
+        ``j``-th thunk — the per-level input for the benchmark's
+        critical-path schedule model.
+        """
+        if self._levels is None:
+            raise RuntimeError("replay_timed requires a parallel plan")
+        values = self._values
+        grads = self._grads
+        values[self._input_slot] = x
+        self._tbox[0] = targets
+        level_seconds: List[List[float]] = []
+        for level in self._levels:
+            times = []
+            for fn in level:
+                t = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t)
+            level_seconds.append(times)
+        loss = values[self._loss_slot]
+        logits = values[self._logits_slot]
+        for i in range(self.n_slots):
+            values[i] = None
+            grads[i] = None
+            self._ctxs[i] = None
+        self._tbox[0] = None
+        return loss, logits, level_seconds
 
     def run_forward(self, x: np.ndarray) -> np.ndarray:
         """Replay a forward-only plan; returns the logits array."""
@@ -1578,39 +1996,50 @@ class PlanCache:
         self._generation = ws.PLAN_GENERATION
         self.max_entries = max_entries
         self.evictions = 0
+        # Lookups/stores may race a generation bump from another thread
+        # (ws.invalidate_plans is atomic on its side); RLock because
+        # lookup/store call purge_stale internally.
+        self._lock = threading.RLock()
 
     def purge_stale(self) -> None:
         """Drop every entry captured before the current plan generation."""
-        if self._generation != ws.PLAN_GENERATION:
-            self._plans.clear()
-            self._generation = ws.PLAN_GENERATION
+        with self._lock:
+            gen = ws.plan_generation()
+            if self._generation != gen:
+                self._plans.clear()
+                self._generation = gen
 
     def lookup(self, key: tuple):
-        self.purge_stale()
-        value = self._plans.get(key)
-        if value is not None:
-            # Refresh LRU position (dict preserves insertion order).
-            self._plans.pop(key)
-            self._plans[key] = value
-        return value
+        with self._lock:
+            self.purge_stale()
+            value = self._plans.get(key)
+            if value is not None:
+                # Refresh LRU position (dict preserves insertion order).
+                self._plans.pop(key)
+                self._plans[key] = value
+            return value
 
     def store(self, key: tuple, value) -> None:
-        self.purge_stale()
-        self._plans.pop(key, None)
-        self._plans[key] = value
-        while len(self._plans) > self.max_entries:
-            oldest = next(iter(self._plans))
-            del self._plans[oldest]
-            self.evictions += 1
+        with self._lock:
+            self.purge_stale()
+            self._plans.pop(key, None)
+            self._plans[key] = value
+            while len(self._plans) > self.max_entries:
+                oldest = next(iter(self._plans))
+                del self._plans[oldest]
+                self.evictions += 1
 
     def drop(self, key: tuple) -> None:
-        self._plans.pop(key, None)
+        with self._lock:
+            self._plans.pop(key, None)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,7 @@ measures honest before/after numbers in the same process.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
@@ -69,6 +70,15 @@ class EngineConfig:
     #: buffers into one liveness-shared arena instead of private arrays.
     #: Bit-exact either way; off recovers the PR-3 per-buffer layout.
     mem_plan: bool = True
+    #: replay compiled *training* plans on a level-scheduled worker thread
+    #: pool (:mod:`repro.tensor.parallel`) instead of the serial thunk loop.
+    #: Bit-exact vs serial replay by construction (pinned accumulation
+    #: order); off keeps the PR-3/PR-5 single-threaded replay.
+    parallel_replay: bool = False
+    #: total executor threads for parallel replay (the calling thread
+    #: counts as one; ``replay_workers - 1`` daemon workers are spawned).
+    #: Values < 2 disable parallel scheduling even if ``parallel_replay``.
+    replay_workers: int = 4
 
 
 config = EngineConfig(
@@ -76,6 +86,8 @@ config = EngineConfig(
     fused_bnrelu=_env_flag("REPRO_FUSED", True),
     conv_impl=os.environ.get("REPRO_CONV_IMPL", "einsum"),
     mem_plan=_env_flag("REPRO_MEM_PLAN", True),
+    parallel_replay=_env_flag("REPRO_PARALLEL_REPLAY", False),
+    replay_workers=int(os.environ.get("REPRO_REPLAY_WORKERS", "4")),
 )
 
 
@@ -83,14 +95,16 @@ config = EngineConfig(
 def baseline_engine():
     """Temporarily run with every optimization off (the seed engine path)."""
     saved = (config.pooling, config.fused_bnrelu, config.conv_impl,
-             config.mem_plan)
+             config.mem_plan, config.parallel_replay, config.replay_workers)
     config.pooling, config.fused_bnrelu, config.conv_impl, \
-        config.mem_plan = False, False, "im2col", False
+        config.mem_plan, config.parallel_replay = \
+        False, False, "im2col", False, False
     try:
         yield
     finally:
-        config.pooling, config.fused_bnrelu, config.conv_impl, \
-            config.mem_plan = saved
+        (config.pooling, config.fused_bnrelu, config.conv_impl,
+         config.mem_plan, config.parallel_replay,
+         config.replay_workers) = saved
 
 
 @dataclass
@@ -126,15 +140,19 @@ class PoolStats:
 class WorkspacePool:
     """Shape/dtype-keyed free-list buffer pool.
 
-    Not thread-safe by design: the engine is single-threaded Python driving
-    multi-threaded BLAS, and all acquire/release pairs happen on the driver
-    thread.
+    Thread-safe: parallel plan replay (:mod:`repro.tensor.parallel`) runs
+    same-level thunks on worker threads, and backward thunks call
+    ``acquire``/``release`` concurrently.  A single mutex guards the free
+    lists, the lent map, and the stats counters; the critical sections are
+    dict/list operations only (allocation and zero-fill happen outside the
+    lock where possible).
     """
 
     def __init__(self, max_per_key: int = 8):
         self.max_per_key = max_per_key
         self._free: Dict[Tuple[tuple, object], List[np.ndarray]] = {}
         self._lent: Dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
         self.stats = PoolStats()
 
     # -- core API ----------------------------------------------------------
@@ -146,18 +164,22 @@ class WorkspacePool:
         if not config.pooling:
             return np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
         key = (tuple(shape), dtype)
-        free = self._free.get(key)
-        if free:
-            buf = free.pop()
-            self.stats.hits += 1
-            self.stats.bytes_reused += buf.nbytes
+        with self._lock:
+            free = self._free.get(key)
+            buf = free.pop() if free else None
+            if buf is not None:
+                self.stats.hits += 1
+                self.stats.bytes_reused += buf.nbytes
+                self._lent[id(buf)] = buf
+        if buf is not None:
             if zero:
                 buf.fill(0)
-        else:
-            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            return buf
+        buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        with self._lock:
             self.stats.misses += 1
             self.stats.bytes_allocated += buf.nbytes
-        self._lent[id(buf)] = buf
+            self._lent[id(buf)] = buf
         return buf
 
     def release(self, arr: np.ndarray) -> None:
@@ -169,22 +191,24 @@ class WorkspacePool:
         if arr is None or not config.pooling:
             return
         base = arr if arr.base is None else arr.base
-        buf = self._lent.pop(id(base), None)
-        if buf is None:
-            return
-        key = (buf.shape, buf.dtype)
-        free = self._free.setdefault(key, [])
-        if len(free) < self.max_per_key:
-            free.append(buf)
-        else:
-            self.stats.evictions += 1
-            self.stats.bytes_evicted += buf.nbytes
+        with self._lock:
+            buf = self._lent.pop(id(base), None)
+            if buf is None:
+                return
+            key = (buf.shape, buf.dtype)
+            free = self._free.setdefault(key, [])
+            if len(free) < self.max_per_key:
+                free.append(buf)
+            else:
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += buf.nbytes
 
     def clear(self) -> None:
         """Drop every cached and lent buffer (pruning reconfiguration)."""
-        self._free.clear()
-        self._lent.clear()
-        self.stats.invalidations += 1
+        with self._lock:
+            self._free.clear()
+            self._lent.clear()
+            self.stats.invalidations += 1
 
     def owns(self, arr: np.ndarray) -> bool:
         """Whether ``arr`` (or its base) is currently lent out by this pool."""
@@ -225,10 +249,22 @@ PLAN_GENERATION = 0
 #: can observe invalidation ordering.  Hooks must be cheap and never raise.
 _invalidation_hooks: list = []
 
+#: Guards PLAN_GENERATION bumps.  Replay worker threads never bump the
+#: generation themselves, but plan-cache maintenance may race a bump from
+#: the driver (e.g. a test thread invalidating while another looks up), so
+#: the read-modify-write must be atomic.  Plain reads of the counter are a
+#: single bytecode and need no lock.
+_generation_lock = threading.Lock()
+
 
 def on_invalidate(hook) -> None:
     """Register a callback run after each plan-generation bump."""
     _invalidation_hooks.append(hook)
+
+
+def plan_generation() -> int:
+    """Atomic read of the current plan generation."""
+    return PLAN_GENERATION
 
 
 def invalidate_plans() -> None:
@@ -242,9 +278,11 @@ def invalidate_plans() -> None:
     registered invalidation hooks let interested parties observe the bump.
     """
     global PLAN_GENERATION
-    PLAN_GENERATION += 1
+    with _generation_lock:
+        PLAN_GENERATION += 1
+        gen = PLAN_GENERATION
     for hook in _invalidation_hooks:
-        hook(PLAN_GENERATION)
+        hook(gen)
 
 
 def acquire(shape: tuple, dtype=np.float32, zero: bool = False) -> np.ndarray:

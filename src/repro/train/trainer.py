@@ -9,6 +9,7 @@ ratios.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -93,6 +94,18 @@ class TrainerConfig:
     #: is pinned onto the engine config for the duration of :meth:`train` so
     #: replayed plans and recaptures agree on the engine signature.
     mem_plan: Optional[bool] = None
+    #: level-scheduled multi-threaded replay of compiled training plans
+    #: (:mod:`repro.tensor.parallel`).  Bit-exact vs serial replay by
+    #: construction.  ``None`` defers to ``REPRO_PARALLEL_REPLAY``
+    #: (default off); pinned onto the engine config for the duration of
+    #: :meth:`train` like ``mem_plan``.  Only affects the compiled
+    #: single-process path — ``workers > 1`` (elastic/sim data-parallel)
+    #: never compiles, so the two features compose by partitioning: procs
+    #: from the elastic engine, threads from replay.
+    parallel_replay: Optional[bool] = None
+    #: total executor threads for parallel replay (calling thread included);
+    #: ``None`` defers to ``REPRO_REPLAY_WORKERS`` (default 4)
+    replay_workers: Optional[int] = None
     #: multi-worker execution backend for ``workers > 1``: ``"elastic"``
     #: spawns true worker *processes* exchanging gradients through shared
     #: memory (:class:`repro.distributed.ElasticEngine` — fault-tolerant,
@@ -146,6 +159,14 @@ class Trainer:
         if mp is None:
             mp = _ws._env_flag("REPRO_MEM_PLAN", True)
         self._mem_plan = bool(mp)
+        pr = self.cfg.parallel_replay
+        if pr is None:
+            pr = _ws._env_flag("REPRO_PARALLEL_REPLAY", False)
+        self._parallel_replay = bool(pr)
+        rw = self.cfg.replay_workers
+        if rw is None:
+            rw = int(os.environ.get("REPRO_REPLAY_WORKERS", "4"))
+        self._replay_workers = int(rw)
         #: arena metrics of the most recent full-batch training plan
         #: (``StepPlan.mem_metrics``); feeds the epoch record and, for
         #: PruneTrain's measured-capacity batch sizing, the memory model
@@ -283,8 +304,11 @@ class Trainer:
             self.on_run_start()
         if self.cfg.profile:
             PROFILER.enable(reset=True)
-        saved_mem_plan = _ws.config.mem_plan
+        saved_engine = (_ws.config.mem_plan, _ws.config.parallel_replay,
+                        _ws.config.replay_workers)
         _ws.config.mem_plan = self._mem_plan
+        _ws.config.parallel_replay = self._parallel_replay
+        _ws.config.replay_workers = self._replay_workers
         try:
             for epoch in range(start_epoch, self.cfg.epochs):
                 if self.cfg.profile:
@@ -331,7 +355,8 @@ class Trainer:
                           f"infF {rec.inference_flops/1e6:.2f}M "
                           f"batch {rec.batch_size}")
         finally:
-            _ws.config.mem_plan = saved_mem_plan
+            (_ws.config.mem_plan, _ws.config.parallel_replay,
+             _ws.config.replay_workers) = saved_engine
             self.shutdown()
         if self.cfg.profile:
             PROFILER.disable()

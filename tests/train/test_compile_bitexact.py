@@ -32,7 +32,8 @@ def data():
     return train, val
 
 
-def _trainer(data, ckpt_dir, compile_step, mem_plan=None):
+def _trainer(data, ckpt_dir, compile_step, mem_plan=None,
+             parallel_replay=None, replay_workers=None):
     train, val = data
     model = resnet20(10, width_mult=0.375, input_hw=8, seed=0)
     # nudge one residual-path conv toward death so the first
@@ -43,7 +44,8 @@ def _trainer(data, ckpt_dir, compile_step, mem_plan=None):
         penalty_ratio=0.3, reconfig_interval=2, lambda_scale=400.0,
         threshold=None, zero_sparse=True,
         checkpoint_every=1, checkpoint_dir=ckpt_dir, checkpoint_keep=0,
-        compile_step=compile_step, mem_plan=mem_plan)
+        compile_step=compile_step, mem_plan=mem_plan,
+        parallel_replay=parallel_replay, replay_workers=replay_workers)
     cap = iteration_memory_bytes(model.graph, 32) * 4
     adjuster = DynamicBatchAdjuster(MemoryModel(cap), granularity=8,
                                     max_batch=128)
@@ -160,3 +162,61 @@ class TestMemPlanBitExact:
         assert_logs_identical(log_eager, log_res)
         assert_models_identical(eager.model, resumed.model)
         _assert_velocities_identical(eager, resumed)
+
+
+class TestParallelReplayBitExact:
+    """Level-scheduled multi-threaded replay across the full PruneTrain
+    schedule — pruning, layer removal, batch growth, kill/resume — must be
+    bit-identical to the serial compiled run (itself bit-identical to
+    eager).  Replay order is pinned by the schedule's accumulation-order
+    edges, so the thread count must never show up in the bits.
+    """
+
+    @pytest.fixture(scope="class")
+    def parallel_run(self, data, tmp_path_factory):
+        from repro.tensor import parallel as par
+        par.STATS.reset()
+        t = _trainer(data, str(tmp_path_factory.mktemp("parallel")),
+                     compile_step=True, mem_plan=True,
+                     parallel_replay=True, replay_workers=4)
+        return t, t.train()
+
+    def test_parallel_matches_eager_and_serial(self, runs, parallel_run):
+        _, log_eager, compiled, log_serial = runs
+        par_t, log_par = parallel_run
+        assert_logs_identical(log_serial, log_par)
+        assert_logs_identical(log_eager, log_par)
+        assert_models_identical(compiled.model, par_t.model)
+        _assert_velocities_identical(compiled, par_t)
+
+    def test_parallel_replay_actually_ran(self, parallel_run):
+        from repro.tensor import parallel as par
+        assert par.STATS.schedules > 0
+        assert par.STATS.replays > 0
+        assert par.STATS.max_width >= 2
+        assert par.STATS.thunks_run > par.STATS.levels_run
+
+    def test_resume_across_parallel_serial_boundary(self, runs, data,
+                                                    parallel_run, tmp_path):
+        """A checkpoint written by the *parallel* run resumes bit-exactly
+        in a *serial* trainer and vice versa: replay scheduling is not run
+        state."""
+        eager, log_eager, compiled, _ = runs
+        par_t, _ = parallel_run
+        # parallel checkpoint -> serial resume
+        ckpt_p = checkpoint_path(par_t.cfg.checkpoint_dir, 2)
+        res_s = _trainer(data, str(tmp_path / "res-serial"),
+                         compile_step=True, parallel_replay=False)
+        log_s = res_s.train(resume_from=ckpt_p)
+        assert_logs_identical(log_eager, log_s)
+        assert_models_identical(eager.model, res_s.model)
+        _assert_velocities_identical(eager, res_s)
+        # serial checkpoint -> parallel resume
+        ckpt_s = checkpoint_path(compiled.cfg.checkpoint_dir, 2)
+        res_p = _trainer(data, str(tmp_path / "res-parallel"),
+                         compile_step=True, parallel_replay=True,
+                         replay_workers=4)
+        log_p = res_p.train(resume_from=ckpt_s)
+        assert_logs_identical(log_eager, log_p)
+        assert_models_identical(eager.model, res_p.model)
+        _assert_velocities_identical(eager, res_p)
