@@ -1,22 +1,29 @@
 """Elastic data-parallel benchmark: multi-process engine vs in-process sim.
 
 Times one synchronous data-parallel training step of ResNet-32 at the
-QUICK scale under both `workers > 1` backends:
+QUICK scale under the `workers > 1` backends:
 
 * ``sim`` — :func:`repro.distributed.data_parallel_step`, the sequential
-  in-process simulation (K backwards on one model, ring allreduce over
-  local arrays);
-* ``elastic`` — :class:`repro.distributed.ElasticEngine`, K forked worker
-  processes computing shards concurrently and exchanging gradients through
-  shared-memory buffers with the same ring schedule.
+  in-process simulation (K eager backwards on one model, ring allreduce
+  over local arrays);
+* ``elastic`` legs — :class:`repro.distributed.ElasticEngine`, K forked
+  worker processes computing shards concurrently and exchanging gradients
+  through shared memory, in three flavors:
 
-Both backends produce bit-identical results (asserted here — a benchmark
+  - ``seed``: eager workers, explicit gradient pack, one monolithic ring
+    after all workers finish (the engine as originally landed);
+  - ``serial_comm``: compiled worker replay with zero-copy gradient sinks
+    (backward writes straight into the shared segments), still one
+    monolithic ring at the end;
+  - ``overlap``: the full overlapped zero-copy exchange — bucketed ring
+    reduces launched from inside the compiled plan while backward still
+    runs.
+
+Every flavor produces bit-identical gradients (asserted here — a benchmark
 comparing diverging computations would be meaningless), so the numbers
-isolate pure orchestration cost: process scheduling, the parameter
-broadcast, pipe traffic for shards, and coordinator stall waiting on the
-slowest worker.  Because NumPy releases the GIL-free work to separate
-*processes*, elastic steps can finish faster than the sequential
-simulation once per-shard compute dominates the IPC overhead.
+isolate orchestration cost: process scheduling, the parameter broadcast,
+gradient packing vs zero-copy, pipe traffic, coordinator stall, and the
+comm schedule.  ``elastic_over_sim`` reports the default (overlap) flavor.
 
 Run directly::
 
@@ -34,7 +41,7 @@ import time
 import numpy as np
 
 from repro.data import make_synthetic
-from repro.distributed import ElasticEngine, data_parallel_step
+from repro.distributed import (COMM_STATS, ElasticEngine, data_parallel_step)
 from repro.nn import resnet32
 from repro.optim import SGD
 
@@ -44,6 +51,14 @@ RESULTS_DIR = os.path.join(
 OUT_PATH = os.path.join(RESULTS_DIR, "BENCH_elastic.json")
 
 QUICK = dict(width_mult=0.375, input_hw=12)
+
+#: engine flavors benchmarked side by side (ordered seed -> full feature)
+LEGS = {
+    "seed": dict(comm_overlap=False, zero_copy=False, compile_steps=False),
+    "serial_comm": dict(comm_overlap=False, zero_copy=True,
+                        compile_steps=True),
+    "overlap": dict(comm_overlap=True, zero_copy=True, compile_steps=True),
+}
 
 
 def _fresh():
@@ -70,26 +85,39 @@ def run_bench(workers: int = 2, batch: int = 64, warmup: int = 3,
     ds = make_synthetic(10, batch, hw=12, noise=0.8, seed=0)
     x, y = ds.x, ds.y
 
-    # parity check first: one step on each backend from identical state
-    m_sim, opt_sim = _fresh()
+    # reference: one sim step (params never change in this benchmark, so
+    # every later step recomputes exactly these gradients)
+    m_sim, _ = _fresh()
     res_sim, _ = data_parallel_step(m_sim, x, y, workers=workers)
-    m_ela, opt_ela = _fresh()
-    engine = ElasticEngine(m_ela, workers=workers)
-    res_ela = engine.step(x, y)
-    assert float(res_sim.loss) == float(res_ela.loss), \
-        "backends diverged; benchmark comparison would be meaningless"
-    for p, q in zip(m_sim.parameters(), m_ela.parameters()):
-        assert np.array_equal(p.grad, q.grad)
-
+    ref_grads = [p.grad.copy() for p in m_sim.parameters()]
     sim_ms = _time_rounds(
         lambda: data_parallel_step(m_sim, x, y, workers=workers),
         warmup, iters, rounds)
-    stall0 = engine.total_stall_seconds
-    ela_ms = _time_rounds(lambda: engine.step(x, y), warmup, iters, rounds)
-    stall = engine.total_stall_seconds - stall0
-    steps = warmup + iters * rounds
-    engine.shutdown()
 
+    legs = {}
+    for name, kw in LEGS.items():
+        m_ela, _ = _fresh()
+        COMM_STATS.reset()
+        with ElasticEngine(m_ela, workers=workers, **kw) as engine:
+            res_ela = engine.step(x, y)
+            assert float(res_sim.loss) == float(res_ela.loss), \
+                f"{name}: backends diverged; comparison would be meaningless"
+            assert float(res_sim.comm_bytes_per_worker) == \
+                float(res_ela.comm_bytes_per_worker), name
+            for g, q in zip(ref_grads, m_ela.parameters()):
+                assert np.array_equal(g, q.grad), name
+            stall0 = engine.total_stall_seconds
+            ms = _time_rounds(lambda: engine.step(x, y),
+                              warmup, iters, rounds)
+            stall = engine.total_stall_seconds - stall0
+            steps = warmup + iters * rounds
+        legs[name] = {
+            "ms": ms,
+            "stall_ms_per_step": stall / steps * 1e3,
+            "comm": COMM_STATS.as_dict(),
+        }
+
+    ela_ms = legs["overlap"]["ms"]
     return {
         "workload": {"model": "resnet32-QUICK", "batch": batch,
                      "workers": workers},
@@ -97,8 +125,9 @@ def run_bench(workers: int = 2, batch: int = 64, warmup: int = 3,
             "sim_ms": sim_ms,
             "elastic_ms": ela_ms,
             "elastic_over_sim": ela_ms / sim_ms,
-            "comm_bytes_per_worker": float(res_ela.comm_bytes_per_worker),
-            "stall_ms_per_step": stall / steps * 1e3,
+            "comm_bytes_per_worker": float(res_sim.comm_bytes_per_worker),
+            "stall_ms_per_step": legs["overlap"]["stall_ms_per_step"],
+            "legs": legs,
         },
     }
 
@@ -115,9 +144,11 @@ def main() -> None:
     results = run_bench()
     path = write_results(results)
     step = results["train_step"]
-    print(f"sim {step['sim_ms']:.2f} ms  elastic {step['elastic_ms']:.2f} ms "
-          f"({step['elastic_over_sim']:.2f}x, "
-          f"stall {step['stall_ms_per_step']:.2f} ms/step)")
+    print(f"sim {step['sim_ms']:.2f} ms")
+    for name, leg in step["legs"].items():
+        print(f"elastic[{name}] {leg['ms']:.2f} ms "
+              f"({leg['ms'] / step['sim_ms']:.2f}x, "
+              f"stall {leg['stall_ms_per_step']:.2f} ms/step)")
     print(f"wrote {path}")
 
 

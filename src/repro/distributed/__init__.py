@@ -1,16 +1,21 @@
-"""Data-parallel training: executable ring allreduce, the in-process
-multi-worker simulation, the elastic multi-process engine with fault
+"""Data-parallel training: executable ring allreduce (monolithic and
+bucketed), the in-process multi-worker simulation, the elastic
+multi-process engine with overlapped zero-copy gradient exchange and fault
 injection, and PruneTrain's dynamic mini-batch adjustment."""
 
-from .allreduce import (AllreduceTrace, allreduce_gradient_lists,
-                        ring_allreduce)
+from .allreduce import (COMM_STATS, AllreduceTrace, CommStats, GradBucket,
+                        allreduce_gradient_lists, module_param_groups,
+                        plan_gradient_buckets, ring_allreduce,
+                        ring_allreduce_range)
 from .elastic import (ElasticEngine, ElasticStepResult, FailureEvent,
                       FaultAction, FaultPlan)
 from .minibatch import BatchAdjustment, DynamicBatchAdjuster
 from .worker import StepResult, data_parallel_step
 
 __all__ = [
-    "ring_allreduce", "allreduce_gradient_lists", "AllreduceTrace",
+    "ring_allreduce", "ring_allreduce_range", "allreduce_gradient_lists",
+    "AllreduceTrace", "CommStats", "COMM_STATS",
+    "GradBucket", "plan_gradient_buckets", "module_param_groups",
     "data_parallel_step", "StepResult",
     "ElasticEngine", "ElasticStepResult",
     "FaultPlan", "FaultAction", "FailureEvent",

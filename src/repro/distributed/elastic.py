@@ -8,6 +8,32 @@ POSIX shared memory using the executable ring-allreduce schedule from
 :mod:`repro.distributed.allreduce` — the same schedule the in-process
 simulation runs, now actually crossing process boundaries.
 
+Overlapped zero-copy gradient exchange
+--------------------------------------
+Workers replay compiled step plans (:mod:`repro.tensor.compile`) whose
+gradient sink thunks write **directly into the shared-memory gradient
+segment** (``workspace.bind_grad_sinks``): backward's final ``out=``
+reduction lands each parameter's gradient at its flat-payload offset with
+no packing copy.  Gradients are grouped into module-aligned, size-targeted
+buckets (:func:`~repro.distributed.allreduce.plan_gradient_buckets`)
+ordered the way backward produces them; the plan schedules a comm-launch
+thunk (``StepPlan.add_comm_thunk``) after the last backward thunk of each
+bucket, so the worker notifies the coordinator — a ``("bucket", step,
+attempt, index)`` pipe message — while later backward thunks are still
+executing.  The coordinator reduces a bucket with
+:func:`~repro.distributed.allreduce.ring_allreduce_range` the moment every
+participant has posted it, overlapping communication with the stragglers'
+remaining compute; buckets still pending when the last worker finishes are
+reduced as a serial tail.  Because the bucketed ring replays the monolithic
+ring's per-role association chains exactly, the reduced bits are identical
+to the serial-comm path — overlap is a pure scheduling change.
+
+Uncompiled steps (capture failure, ``dist_compile=False``) fall back to
+eager compute with an explicit gradient pack and post-hoc bucket
+notifications; ``comm_overlap=False`` restores the seed's single
+monolithic ring after all workers finish.  All four {overlap, zero-copy}
+configurations are bit-identical (``tests/distributed/test_comm_overlap``).
+
 Bit-exactness contract
 ----------------------
 A fault-free elastic run is **bit-identical** to the in-process simulation
@@ -17,13 +43,15 @@ count.  Three properties make that hold:
 - *Gradients*: each worker's forward/backward is a pure function of
   (parameters, shard) — in training mode batch norm normalizes with batch
   statistics, never the running stats — so replica gradients match the
-  simulation's sequential per-shard backward bit for bit, and the identical
-  ring schedule reduces them to identical bits.
+  simulation's sequential per-shard backward bit for bit (compiled replay
+  is itself bit-exact vs eager), and the identical ring schedule reduces
+  them to identical bits bucket by bucket.
 - *BN running statistics*: the simulation updates the shared model's
   running stats once per shard, sequentially.  Each worker ships its batch
-  statistics (via :func:`repro.tensor.ops.norm.set_bn_stats_sink`) to the
-  coordinator, which replays the same in-place updates on its
-  authoritative model in shard order.
+  statistics (via :func:`repro.tensor.ops.norm.set_bn_stats_sink` — fired
+  by the eager kernel and the compiled BN thunk alike) to the coordinator,
+  which replays the same in-place updates on its authoritative model in
+  shard order.
 - *Optimizer/regularizer state*: the coordinator owns the model, the
   optimizer, and the group-lasso state; workers are stateless gradient
   engines resynchronized from a parameter broadcast every step.
@@ -36,23 +64,34 @@ next step it serializes the coordinator model with
 :func:`repro.io.checkpoint.dumps_state` — exactly a format-v2 checkpoint —
 and every worker replays it onto its replica with
 :func:`repro.io.checkpoint.loads_state`, so a resync is bit-equivalent to
-a checkpoint round-trip.  Structure replay is monotone (channels only
+a checkpoint round-trip.  The restore bumps the *worker's* plan generation
+too, purging its compiled plans; the worker then recomputes the payload
+layout, rebinds the shared-memory gradient sinks at the new offsets, and
+recaptures on the next step.  Structure replay is monotone (channels only
 leave, paths only deactivate), so a replica at the previous configuration
-is always a valid restore target.
+is always a valid restore target, and both sides derive identical bucket
+plans from identical model structure.
 
 Fault model
 -----------
 Workers heartbeat into shared memory while idle and at step boundaries; a
 worker whose process died, whose pipe closed, or whose heartbeat is stale
 (or garbage) for longer than ``heartbeat_timeout`` is evicted.  A step is
-**atomic**: if any participant fails mid-step, the partial results are
-discarded, the failed workers are evicted, and the whole step re-executes
-on the survivors — so from the failure step onward the run is bit-identical
-to a clean run with the surviving worker count.  Training degrades
+**atomic**: if any participant fails mid-step — even after some of its
+buckets were already reduced in place — the partial results are discarded,
+the failed workers are evicted, and the whole step re-executes on the
+survivors, whose next attempt fully overwrites every payload element
+(zero-copy sinks are pure ``out=`` overwrites; the eager path packs the
+whole payload), so a half-reduced segment can never leak into a result:
+from the failure step onward the run is bit-identical to a clean run with
+the surviving worker count.  Bucket notifications arrive over the same
+FIFO pipe as results, after the segment is fully written — the coordinator
+never reads a bucket a worker is still writing.  Training degrades
 gracefully from K to K-1 ... down to 1; only the loss of every worker
 aborts the run.  :class:`FaultPlan` scripts failures (kill / hang /
-heartbeat corruption at a given step) deterministically, which makes every
-failure path testable.
+heartbeat corruption at a given step, or a kill wedged *between* bucket
+launches mid-backward) deterministically, which makes every failure path
+testable.
 """
 
 from __future__ import annotations
@@ -63,8 +102,9 @@ import os
 import sys
 import time
 import traceback
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -75,8 +115,11 @@ from ..profiler import PROFILER
 from ..tensor import Tensor
 from ..tensor import functional as F
 from ..tensor import workspace as _ws
+from ..tensor.compile import PlanCache, capture_training_step
 from ..tensor.ops import norm as _norm_ops
-from .allreduce import ring_allreduce
+from .allreduce import (COMM_STATS, GradBucket, module_param_groups,
+                        plan_gradient_buckets, ring_allreduce,
+                        ring_allreduce_range)
 
 
 # -- fault injection ---------------------------------------------------------
@@ -85,12 +128,17 @@ from .allreduce import ring_allreduce
 class FaultAction:
     """One scripted failure: fires on the first command whose global step
     index is >= ``step`` (a resync preceding step ``s`` carries index ``s``,
-    so faults can target reconfiguration barriers too)."""
+    so faults can target reconfiguration barriers too).  A
+    ``kill_after_bucket`` action instead fires from *inside* the step, right
+    after the worker announces bucket ``bucket`` — i.e. between bucket
+    launches, with part of the payload exchanged and part still in flight."""
 
     kind: str            # "kill" | "hang" | "corrupt_heartbeat"
+                         # | "kill_after_bucket"
     worker: int          # rank the fault applies to
     step: int            # global step index at/after which it fires
     duration: float = float("inf")   # hang only: seconds to stall
+    bucket: int = -1     # kill_after_bucket only: bucket index to die after
 
 
 class FaultPlan:
@@ -121,6 +169,15 @@ class FaultPlan:
         self.actions.append(FaultAction("corrupt_heartbeat", worker, at_step))
         return self
 
+    def kill_after_bucket(self, worker: int, at_step: int,
+                          bucket: int) -> "FaultPlan":
+        """Terminate ``worker`` right after it announces ``bucket`` during
+        step ``at_step`` (or the first later step that reaches it) — a death
+        *between* bucket launches, mid-backward."""
+        self.actions.append(
+            FaultAction("kill_after_bucket", worker, at_step, bucket=bucket))
+        return self
+
     def for_worker(self, rank: int) -> List[FaultAction]:
         return sorted((a for a in self.actions if a.worker == rank),
                       key=lambda a: a.step)
@@ -147,6 +204,7 @@ class ElasticStepResult:
     stall_seconds: float = 0.0       # wall time lost waiting on stragglers
     active_workers: int = 0          # workers alive after this step
     failures: int = 0                # failures detected during this step
+    buckets_overlapped: int = 0      # buckets reduced under worker compute
 
 
 @dataclass
@@ -156,16 +214,27 @@ class _Handle:
     rank: int
     proc: mp.process.BaseProcess
     conn: object                     # coordinator end of the duplex pipe
-    grad_mm: mmap.mmap
-    grad_view: np.ndarray            # float32 view over the full capacity
+    grad_mm: Optional[mmap.mmap]
+    grad_view: Optional[np.ndarray]  # float32 view over the full capacity
     alive: bool = True
+
+
+@dataclass(frozen=True)
+class _WorkerOpts:
+    """Exchange configuration shipped to each worker at fork time."""
+
+    overlap: bool
+    zero_copy: bool
+    compile_steps: bool
+    bucket_bytes: int
+    poll: float
 
 
 # -- worker process ----------------------------------------------------------
 
 def _worker_main(rank: int, conn, replica: Module, grad_mm, param_mm, hb_mm,
                  capacity: int, nworkers: int, faults: List[FaultAction],
-                 poll: float) -> None:
+                 opts: _WorkerOpts) -> None:
     """Worker loop: wait for commands, compute shard gradients, report.
 
     Runs in a forked child: ``replica`` is this process's private copy of
@@ -174,8 +243,13 @@ def _worker_main(rank: int, conn, replica: Module, grad_mm, param_mm, hb_mm,
     hb = np.frombuffer(hb_mm, dtype=np.float64, count=nworkers)
     gview = np.frombuffer(grad_mm, dtype=np.float32, count=capacity)
     pview = np.frombuffer(param_mm, dtype=np.float32, count=capacity)
-    pending_faults = list(faults)
+    pending_faults = [a for a in faults if a.kind != "kill_after_bucket"]
+    bucket_faults = [a for a in faults if a.kind == "kill_after_bucket"]
     corrupt = False
+    overlap = opts.overlap and nworkers > 1
+    # The host's cores are already oversubscribed K ways by the worker
+    # processes — a per-worker replay thread pool would only fight them.
+    _ws.config.parallel_replay = False
 
     def beat() -> None:
         if not corrupt:
@@ -184,7 +258,8 @@ def _worker_main(rank: int, conn, replica: Module, grad_mm, param_mm, hb_mm,
     # Ship per-shard BN batch statistics with each result: the sink keys a
     # training BN forward by the layer's running_mean array identity, which
     # this map resolves to the layer's dotted name (names match the
-    # coordinator's — identical architecture, identical traversal).
+    # coordinator's — identical architecture, identical traversal).  The
+    # compiled BN thunk fires the same sink at the same point in the step.
     bn_names: Dict[int, str] = {}
     stats_log: List[Tuple[str, np.ndarray, np.ndarray]] = []
 
@@ -198,9 +273,80 @@ def _worker_main(rank: int, conn, replica: Module, grad_mm, param_mm, hb_mm,
         lambda rm, mu, var: stats_log.append((bn_names[id(rm)], mu, var)))
     rebuild_bn_map()
 
+    # Flat payload layout + bucket plan, derived from the replica (identical
+    # to the coordinator's — same structure, same traversal).  With zero-copy
+    # on, each parameter's gradient sink is a view into the shared gradient
+    # segment at its payload offset, so compiled backward writes gradients
+    # straight into the allreduce memory.
+    layout: Dict[str, object] = {}
+
+    def refresh_layout() -> None:
+        params = replica.parameters()
+        sizes = [p.data.size for p in params]
+        offsets = list(np.cumsum([0] + sizes[:-1]))
+        layout["params"] = params
+        layout["sizes"] = sizes
+        layout["offsets"] = offsets
+        layout["buckets"] = plan_gradient_buckets(
+            sizes, offsets, module_param_groups(replica),
+            opts.bucket_bytes) if nworkers > 1 else []
+        if opts.zero_copy:
+            _ws.bind_grad_sinks({
+                id(p): gview[off:off + sz].reshape(p.data.shape)
+                for p, off, sz in zip(params, offsets, sizes)})
+        else:
+            _ws.clear_grad_sinks()
+
+    refresh_layout()
+
+    plans = PlanCache(max_entries=4)
+    cur = {"step": 0, "attempt": 0}
+
+    def send_bucket(index: int) -> None:
+        conn.send(("bucket", cur["step"], cur["attempt"], index))
+        beat()
+        if bucket_faults and bucket_faults[0].step <= cur["step"] \
+                and bucket_faults[0].bucket == index:
+            os._exit(17)
+
+    def compiled_step(xb, yb):
+        """Run the step through a compiled plan (capturing on first sight
+        of this shard shape).  Returns ``(loss, logits, launched, bound)``
+        where ``launched`` are bucket indices already announced from inside
+        the replay and ``bound`` the leaf ids whose gradients are already
+        in shared memory — or ``None`` if this shape is uncompilable."""
+        key = (xb.shape, yb.shape)
+        entry = plans.lookup(key)
+        if isinstance(entry, str):     # known-uncompilable for this phase
+            return None
+        if entry is not None:
+            plan, thunked = entry
+            if plan.invalid_reason() is not None:
+                plans.drop(key)
+            else:
+                loss, logits = plan.run(xb, yb)
+                return float(loss), logits, thunked, \
+                    frozenset(plan._sink_bound)
+        plan, lt, lg, reason = capture_training_step(replica, xb, yb)
+        if plan is None:
+            plans.store(key, reason or "capture failed")
+        lt.backward()
+        if plan is not None:
+            thunked: Set[int] = set()
+            if overlap:
+                for b in layout["buckets"]:
+                    lids = [id(layout["params"][i]) for i in b.param_indices]
+                    if plan.add_comm_thunk(
+                            lids, lambda i=b.index: send_bucket(i)):
+                        thunked.add(b.index)
+            plans.store(key, (plan, thunked))
+        # the capture's forward/loss WAS this step's eager computation —
+        # gradients are in p.grad, nothing announced or in shared memory yet
+        return lt.item(), lg.data, set(), frozenset()
+
     try:
         while True:
-            while not conn.poll(poll):
+            while not conn.poll(opts.poll):
                 beat()
             try:
                 msg = conn.recv()
@@ -224,42 +370,56 @@ def _worker_main(rank: int, conn, replica: Module, grad_mm, param_mm, hb_mm,
                     hb[rank] = float("nan")
 
             if kind == "resync":
-                loads_state(msg[2], replica)
-                rebuild_bn_map()
+                loads_state(msg[2], replica)   # bumps the plan generation:
+                rebuild_bn_map()               # stale plans purge on lookup
+                refresh_layout()
                 beat()
                 conn.send(("resync_ack", step_idx))
             elif kind == "step":
                 attempt, xb, yb = msg[2], msg[3], msg[4]
+                cur["step"], cur["attempt"] = step_idx, attempt
                 # pull the parameter broadcast into the replica (in place:
                 # surgery preserved parameter objects, shapes match)
                 off = 0
-                for p in replica.parameters():
+                for p in layout["params"]:
                     sz = p.data.size
                     p.data[...] = pview[off:off + sz].reshape(p.data.shape)
                     off += sz
                 stats_log.clear()
                 replica.train()
                 replica.zero_grad()
-                logits = replica(Tensor(xb))
-                loss = F.cross_entropy(logits, yb)
-                loss.backward()
-                off = 0
-                for p in replica.parameters():
-                    sz = p.data.size
-                    if p.grad is not None:
-                        gview[off:off + sz] = p.grad.reshape(-1)
-                    else:
-                        gview[off:off + sz] = 0.0
-                    off += sz
-                correct = int((logits.data.argmax(1) == yb).sum())
+                res = compiled_step(xb, yb) if opts.compile_steps else None
+                if res is None:
+                    logits_t = replica(Tensor(xb))
+                    loss_t = F.cross_entropy(logits_t, yb)
+                    loss_t.backward()
+                    loss_val, logits = loss_t.item(), logits_t.data
+                    launched, bound = set(), frozenset()
+                else:
+                    loss_val, logits, launched, bound = res
+                # pack the gradients that did not land in shared memory via
+                # a bound sink (all of them, on the eager/capture paths)
+                for p, off, sz in zip(layout["params"], layout["offsets"],
+                                      layout["sizes"]):
+                    if id(p) not in bound:
+                        if p.grad is not None:
+                            gview[off:off + sz] = p.grad.reshape(-1)
+                        else:
+                            gview[off:off + sz] = 0.0
+                if overlap:
+                    for b in layout["buckets"]:
+                        if b.index not in launched:
+                            send_bucket(b.index)
+                correct = int((logits.argmax(1) == yb).sum())
                 beat()
-                conn.send(("done", step_idx, attempt, loss.item(),
+                conn.send(("done", step_idx, attempt, loss_val,
                            int(len(yb)), correct, list(stats_log)))
     except Exception:  # pragma: no cover - worker bugs surface as eviction
         traceback.print_exc(file=sys.stderr)
         os._exit(1)
     finally:
         _norm_ops.set_bn_stats_sink(None)
+        _ws.clear_grad_sinks()
         conn.close()
 
 
@@ -281,28 +441,53 @@ class ElasticEngine:
     coordinator parameters' ``.grad`` exactly as
     :func:`~repro.distributed.worker.data_parallel_step` leaves them, so
     regularizers and the optimizer run unchanged on the coordinator.
+
+    ``comm_overlap``, ``bucket_bytes``, ``zero_copy``, and
+    ``compile_steps`` default to the engine configuration
+    (``workspace.config``: ``comm_overlap`` / ``comm_bucket_bytes`` /
+    ``comm_zero_copy`` / ``dist_compile``, each with a ``REPRO_*``
+    environment override); pass explicit values to pin a single engine.
     """
 
     def __init__(self, model: Module, workers: int,
                  heartbeat_timeout: float = 30.0,
                  fault_plan: Optional[FaultPlan] = None,
-                 poll_interval: float = 0.002):
+                 poll_interval: float = 0.002,
+                 comm_overlap: Optional[bool] = None,
+                 bucket_bytes: Optional[int] = None,
+                 zero_copy: Optional[bool] = None,
+                 compile_steps: Optional[bool] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if "fork" not in mp.get_all_start_methods():
             raise RuntimeError(
                 "ElasticEngine needs the fork start method (POSIX); use "
                 "TrainerConfig(dist_engine='sim') on this platform")
+        cfg = _ws.config
         self.model = model
         self.workers = int(workers)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.fault_plan = fault_plan
+        self.comm_overlap = bool(cfg.comm_overlap if comm_overlap is None
+                                 else comm_overlap)
+        self.bucket_bytes = int(cfg.comm_bucket_bytes if bucket_bytes is None
+                                else bucket_bytes)
+        self.zero_copy = bool(cfg.comm_zero_copy if zero_copy is None
+                              else zero_copy)
+        self.compile_steps = bool(cfg.dist_compile if compile_steps is None
+                                  else compile_steps)
+        if self.bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
         self._poll = float(poll_interval)
         self._ctx = mp.get_context("fork")
         self._handles: List[_Handle] = []
         self._started = False
         self._step_idx = 0
         self._generation: Optional[int] = None
+        self._param_mm: Optional[mmap.mmap] = None
+        self._hb_mm: Optional[mmap.mmap] = None
+        self._param_view: Optional[np.ndarray] = None
+        self._hb: Optional[np.ndarray] = None
         self.failures: List[FailureEvent] = []
         self.total_stall_seconds = 0.0
         self.total_comm_bytes = 0.0
@@ -344,6 +529,11 @@ class ElasticEngine:
         self._hb = np.frombuffer(self._hb_mm, dtype=np.float64,
                                  count=self.workers)
         self._hb[:] = time.monotonic()
+        opts = _WorkerOpts(overlap=self.comm_overlap,
+                           zero_copy=self.zero_copy,
+                           compile_steps=self.compile_steps,
+                           bucket_bytes=self.bucket_bytes,
+                           poll=max(self._poll, 0.02))
         for rank in range(self.workers):
             grad_mm = mmap.mmap(-1, nbytes)
             coord_conn, work_conn = self._ctx.Pipe(duplex=True)
@@ -353,7 +543,7 @@ class ElasticEngine:
                 target=_worker_main,
                 args=(rank, work_conn, self.model, grad_mm, self._param_mm,
                       self._hb_mm, self._capacity, self.workers, faults,
-                      max(self._poll, 0.02)),
+                      opts),
                 daemon=True, name=f"elastic-worker-{rank}")
             proc.start()
             work_conn.close()   # child keeps its copy; EOF works both ways
@@ -365,7 +555,9 @@ class ElasticEngine:
         self._generation = _ws.PLAN_GENERATION
 
     def shutdown(self) -> None:
-        """Stop and reap all workers (idempotent)."""
+        """Stop and reap all workers, releasing every shared-memory segment
+        (idempotent — safe to call twice, or after evictions already closed
+        some segments)."""
         for h in self._handles:
             if h.alive:
                 try:
@@ -382,23 +574,55 @@ class ElasticEngine:
             except OSError:  # pragma: no cover
                 pass
             h.alive = False
+            self._close_grad_segment(h)
         self._handles = []
         self._started = False
+        # Drop the numpy views before closing: a live view keeps the mmap's
+        # buffer exported and close() would raise BufferError.  A view some
+        # caller still holds leaves the pages alive until it dies — the
+        # close is then retried-by-GC, never raised to the caller.
+        self._param_view = None
+        self._hb = None
+        for attr in ("_param_mm", "_hb_mm"):
+            mm = getattr(self, attr, None)
+            if mm is not None:
+                try:
+                    mm.close()
+                except (BufferError, OSError, ValueError):
+                    pass
+                setattr(self, attr, None)
+
+    @staticmethod
+    def _close_grad_segment(h: _Handle) -> None:
+        """Release one worker's gradient segment (idempotent; tolerates a
+        still-exported buffer from an in-flight attempt's view list)."""
+        h.grad_view = None
+        if h.grad_mm is not None:
+            try:
+                h.grad_mm.close()
+            except (BufferError, OSError, ValueError):
+                pass
+            h.grad_mm = None
 
     # -- payload layout ----------------------------------------------------
     def _refresh_layout(self) -> None:
-        """Recompute the flat parameter/gradient payload layout and the BN
-        name map (valid until the next reconfiguration)."""
+        """Recompute the flat parameter/gradient payload layout, the bucket
+        plan, and the BN name map (valid until the next reconfiguration)."""
         self._params = self.model.parameters()
         self._sizes = [p.data.size for p in self._params]
         self._offsets = list(np.cumsum([0] + self._sizes[:-1]))
         self._payload = int(sum(self._sizes))
+        self._buckets: List[GradBucket] = plan_gradient_buckets(
+            self._sizes, self._offsets, module_param_groups(self.model),
+            self.bucket_bytes) if self.workers > 1 else []
         self._bn = {name: m for name, m in self.model.named_modules()
                     if isinstance(m, BatchNorm2d)}
 
     # -- failure detection -------------------------------------------------
     def _evict(self, rank: int, reason: str, phase: str) -> None:
         h = self._handles[rank]
+        if not h.alive:   # pragma: no cover - double eviction is a no-op
+            return
         h.alive = False
         self.failures.append(FailureEvent(rank, self._step_idx, reason,
                                           phase))
@@ -410,16 +634,25 @@ class ElasticEngine:
             h.conn.close()
         except OSError:  # pragma: no cover
             pass
+        # The worker may have died mid-write; its segment is never read
+        # again (the attempt is voided), so release it now.  A view pinned
+        # by the in-flight attempt defers the close harmlessly.
+        self._close_grad_segment(h)
 
-    def _await(self, ranks: List[int], match, phase: str
+    def _await(self, ranks: List[int], match, phase: str, on_other=None
                ) -> Tuple[Dict[int, tuple], List[int], float]:
         """Collect one matching message per rank, with failure detection.
 
         Returns ``(results, failed_ranks, stall_seconds)``.  Failure checks
         run *before* each rank's pipe is drained, so a worker with a
         corrupted heartbeat is evicted deterministically even if its result
-        raced in.  ``stall`` is the wall time between the first completion
-        and the end of the wait — idle coordinator/fast-worker time.
+        raced in.  Non-matching messages go to ``on_other(rank, msg,
+        pending)`` when given (the overlap path's bucket notifications) and
+        are dropped otherwise (stale attempts).  Between sweeps the
+        coordinator blocks in :func:`multiprocessing.connection.wait`
+        rather than sleep-polling.  ``stall`` is the wall time between the
+        first completion and the end of the wait — idle coordinator/
+        fast-worker time.
         """
         pending = set(ranks)
         results: Dict[int, tuple] = {}
@@ -450,13 +683,27 @@ class ElasticEngine:
                             if t_first is None:
                                 t_first = time.monotonic()
                             break
-                        # else: stale message from a discarded attempt
+                        if on_other is not None:
+                            on_other(rank, msg, len(pending))
                 except (EOFError, OSError):
-                    self._evict(rank, "pipe", phase)
+                    # EOF usually reaches the blocking wait before the dead
+                    # process is reapable; classify by the process itself so
+                    # a kill reads "died" (deterministically), and "pipe" is
+                    # reserved for a closed pipe on a live worker
+                    h.proc.join(timeout=0.2)
+                    reason = "pipe" if h.proc.is_alive() else "died"
+                    self._evict(rank, reason, phase)
                     failed.append(rank)
                     pending.discard(rank)
             if pending:
-                time.sleep(self._poll)
+                conns = [self._handles[r].conn for r in pending]
+                t0 = time.perf_counter()
+                try:
+                    mp_connection.wait(conns,
+                                       timeout=max(self._poll, 0.05))
+                except OSError:  # pragma: no cover - raced a close
+                    pass
+                COMM_STATS.wait_seconds += time.perf_counter() - t0
         stall = (time.monotonic() - t_first) if t_first is not None else 0.0
         return results, failed, stall
 
@@ -516,6 +763,46 @@ class ElasticEngine:
             k = len(participants)
             bounds = np.linspace(0, n, k + 1).astype(int)
             want = self._step_idx
+            use_overlap = self.comm_overlap and k > 1
+            views = [self._handles[rank].grad_view[:self._payload]
+                     for rank in participants]
+            # per-attempt overlap state: which ranks have announced each
+            # bucket, which buckets are already reduced, reduce accounting
+            posted: Dict[int, Set[int]] = {}
+            reduced: Set[int] = set()
+            # "moved" stays an integer total until the single final divide,
+            # so the per-worker figure is bit-identical to the monolithic
+            # trace's no matter how many buckets the payload was cut into
+            acct = {"moved": 0, "reduce": 0.0, "overlapped": 0}
+            bucket_of = {b.index: b for b in self._buckets}
+
+            def on_msg(rank, msg, npending, _want=want, _att=attempt,
+                       _views=views, _posted=posted, _reduced=reduced,
+                       _acct=acct, _bucket_of=bucket_of, _k=k):
+                if msg[0] != "bucket" or msg[1] != _want or msg[2] != _att:
+                    return
+                bi = msg[3]
+                ranks_in = _posted.setdefault(bi, set())
+                ranks_in.add(rank)
+                COMM_STATS.bucket_launches += 1
+                if len(ranks_in) == _k and bi not in _reduced:
+                    # every participant has fully written this segment
+                    # (FIFO pipe: the announcement follows the writes) —
+                    # reduce it now, under the stragglers' compute
+                    b = _bucket_of[bi]
+                    t0 = time.perf_counter()
+                    moved = ring_allreduce_range(
+                        _views, self._payload, b.lo, b.hi, average=True)
+                    dt = time.perf_counter() - t0
+                    _reduced.add(bi)
+                    _acct["moved"] += moved
+                    _acct["reduce"] += dt
+                    _acct["overlapped"] += 1
+                    COMM_STATS.buckets_reduced += 1
+                    COMM_STATS.bytes_moved += moved // _k
+                    COMM_STATS.reduce_seconds += dt
+                    COMM_STATS.overlapped_seconds += dt
+
             for i, rank in enumerate(participants):
                 lo, hi = bounds[i], bounds[i + 1]
                 self._handles[rank].conn.send(
@@ -523,12 +810,15 @@ class ElasticEngine:
             results, failed, stall = self._await(
                 participants,
                 lambda m: m[0] == "done" and m[1] == want
-                and m[2] == attempt, "step")
+                and m[2] == attempt, "step",
+                on_other=on_msg if use_overlap else None)
             stall_total += stall
             if not failed:
                 break
-            # a failed participant voids the attempt: survivors re-execute
-            # the whole step so the result is exactly a clean smaller-K step
+            # a failed participant voids the attempt — including any
+            # buckets already reduced in place: survivors re-execute the
+            # whole step and fully overwrite their payloads, so the result
+            # is exactly a clean smaller-K step
             attempt += 1
 
         # aggregate exactly as the in-process simulation does — including the
@@ -543,18 +833,37 @@ class ElasticEngine:
             total_loss += loss_w * (bounds[i + 1] - bounds[i])
             total_correct += correct_w
 
-        # ring allreduce across the workers' shared-memory gradient buffers
-        views = [self._handles[rank].grad_view[:self._payload]
-                 for rank in participants]
+        # finish the exchange across the workers' shared-memory buffers
+        comm_bytes = 0.0
         if k > 1:
             t0 = time.perf_counter()
-            trace = ring_allreduce(views, average=True)
-            comm_bytes = trace.bytes_per_worker
+            if use_overlap:
+                moved_total = acct["moved"]
+                for b in self._buckets:    # serial tail: still-pending
+                    if b.index in reduced:
+                        continue
+                    bt0 = time.perf_counter()
+                    moved = ring_allreduce_range(
+                        views, self._payload, b.lo, b.hi, average=True)
+                    dt = time.perf_counter() - bt0
+                    moved_total += moved
+                    COMM_STATS.buckets_reduced += 1
+                    COMM_STATS.bytes_moved += moved // k
+                    COMM_STATS.reduce_seconds += dt
+                    COMM_STATS.tail_seconds += dt
+                comm_bytes = moved_total / k
+                reduce_dt = acct["reduce"] + (time.perf_counter() - t0)
+            else:
+                trace = ring_allreduce(views, average=True)
+                comm_bytes = trace.bytes_per_worker
+                dt = time.perf_counter() - t0
+                reduce_dt = dt
+                COMM_STATS.monolithic_reduces += 1
+                COMM_STATS.bytes_moved += int(comm_bytes)
+                COMM_STATS.reduce_seconds += dt
+                COMM_STATS.tail_seconds += dt
             if PROFILER.enabled:
-                PROFILER.add("dist_allreduce", time.perf_counter() - t0,
-                             int(comm_bytes))
-        else:
-            comm_bytes = 0.0
+                PROFILER.add("dist_allreduce", reduce_dt, int(comm_bytes))
         base = views[0]
         for p, off, sz in zip(self._params, self._offsets, self._sizes):
             p.grad = base[off:off + sz].reshape(p.data.shape).copy()
@@ -571,6 +880,7 @@ class ElasticEngine:
 
         if PROFILER.enabled and stall_total:
             PROFILER.add("dist_stall", stall_total, 0)
+        COMM_STATS.stall_seconds += stall_total
         self._step_idx += 1
         self.total_stall_seconds += stall_total
         self.total_comm_bytes += comm_bytes
@@ -578,4 +888,5 @@ class ElasticEngine:
             loss=total_loss / n, accuracy=total_correct / n,
             comm_bytes_per_worker=comm_bytes, stall_seconds=stall_total,
             active_workers=len(self.active_ranks),
-            failures=len(self.failures) - failures_before)
+            failures=len(self.failures) - failures_before,
+            buckets_overlapped=acct["overlapped"])

@@ -25,7 +25,7 @@ import numpy as np
 from ..nn.module import Module
 from ..tensor import Tensor
 from ..tensor import functional as F
-from .allreduce import allreduce_gradient_lists
+from .allreduce import COMM_STATS, allreduce_gradient_lists
 
 
 @dataclass
@@ -86,6 +86,8 @@ def data_parallel_step(model: Module, x: np.ndarray, y: np.ndarray,
 
     if len(per_worker_grads) > 1:
         comm_bytes = allreduce_gradient_lists(per_worker_grads, average=True)
+        COMM_STATS.monolithic_reduces += 1
+        COMM_STATS.bytes_moved += int(comm_bytes)
         reduced = per_worker_grads[0]
     else:
         comm_bytes = 0.0

@@ -127,6 +127,11 @@ class OpProfiler:
             out["_parallel"] = parallel.STATS.as_dict()
         except ImportError:  # pragma: no cover - circular-import guard
             pass
+        try:
+            from ..distributed import allreduce
+            out["_comm"] = allreduce.COMM_STATS.as_dict()
+        except ImportError:  # pragma: no cover - circular-import guard
+            pass
         return out
 
     def total_seconds(self) -> float:

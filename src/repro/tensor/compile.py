@@ -678,6 +678,12 @@ class Tape:
         plan._fwd = [pairs[id(rec)][0] for rec in self.records]
         if sched is None:
             plan._bwd = [pairs[id(self.rec_of[id(n)])][1] for n in bwd_nodes]
+            rec_last = {id(self.rec_of[id(n)]): i
+                        for i, n in enumerate(bwd_nodes)}
+            plan._leaf_bwd_idx = {
+                lid: rec_last[rid]
+                for lid, rid in plan._leaf_sink_rec.items()
+                if rid in rec_last}
         else:
             self._assemble_levels(plan, pairs, bwd_nodes, sched)
         plan._logits_slot = self.slot_of[id(logits)]
@@ -709,7 +715,13 @@ class Tape:
             grads[plan._loss_slot] = np.ones_like(values[plan._loss_slot])
 
         node_fn[sched.seed_node] = seed
+        level_of: Dict[int, int] = {}
+        for li, lvl in enumerate(sched.graph.levels):
+            for nd in lvl:
+                level_of[nd] = li
         bwd_flat: List[Callable[[], None]] = []
+        rec_last: Dict[int, int] = {}
+        rec_level: Dict[int, int] = {}
         for j, n in enumerate(bwd_nodes):
             rec = self.rec_of[id(n)]
             thunks = pairs[id(rec)][1]
@@ -727,7 +739,15 @@ class Tape:
                         f"builder split {rec.kind} but schedule did not")
                 node_fn[parts[0]] = thunks
                 bwd_flat.append(thunks)
+            rec_last[id(rec)] = len(bwd_flat) - 1
+            rec_level[id(rec)] = max(level_of[nd] for nd in parts)
         plan._bwd = bwd_flat
+        plan._leaf_bwd_idx = {lid: rec_last[rid]
+                              for lid, rid in plan._leaf_sink_rec.items()
+                              if rid in rec_last}
+        plan._leaf_bwd_level = {lid: rec_level[rid]
+                                for lid, rid in plan._leaf_sink_rec.items()
+                                if rid in rec_level}
         plan._levels = [[node_fn[nd] for nd in lvl]
                         for lvl in sched.graph.levels]
         plan._level_names = [[sched.graph.names[nd] for nd in lvl]
@@ -759,6 +779,16 @@ class _PlanBuilder:
         #: parallel schedule (None -> serial plan; split convs return
         #: (dw, dx, fin) backward part tuples instead of one thunk)
         self.sched = sched
+        #: how many records consume each input tensor — a leaf gradient
+        #: sink may bind a zero-copy destination only when its parameter
+        #: feeds exactly one op (multi-use leaves accumulate across sinks,
+        #: which the in-place ``out=`` form cannot express safely)
+        self._input_uses: Dict[int, int] = {}
+        for _rec in tape.records:
+            for _inp in _rec.inputs:
+                if _inp is not None:
+                    self._input_uses[id(_inp)] = \
+                        self._input_uses.get(id(_inp), 0) + 1
 
     # -- planned buffer allocation ----------------------------------------
     # Each helper maps one buffer class to its liveness interval and
@@ -898,6 +928,34 @@ class _PlanBuilder:
                 g0 += arr
         return sink
 
+    def _leaf_out(self, rec: _Record, t: Optional[Tensor]
+                  ) -> Optional[np.ndarray]:
+        """Zero-copy gradient destination for leaf ``t``, or ``None``.
+
+        When the process has bound a shared-memory gradient sink for this
+        parameter (:func:`repro.tensor.workspace.bind_grad_sinks` — the
+        elastic worker's allreduce segment), the sink thunk computes its
+        final reduction straight into the bound array via ``out=`` instead
+        of a fresh allocation, and ``_give_grad`` donates that array as
+        ``param.grad``.  The values written are bit-identical to the
+        private-buffer form; only the destination changes.  Returns
+        ``None`` (site keeps its original code path) when no binding
+        exists, the parameter feeds more than one op, or shapes/dtypes
+        disagree with the binding.
+        """
+        if t is None:
+            return None
+        view = ws.grad_sink_for(id(t))
+        if view is None or self._input_uses.get(id(t), 0) != 1:
+            return None
+        if view.shape != t.data.shape or view.dtype != t.data.dtype:
+            return None
+        self.plan._sink_bound[id(t)] = view
+        self.plan._leaf_sink_rec[id(t)] = id(rec)
+        if self.mem is not None:
+            self.mem.note_external(id(t), view.nbytes)
+        return view
+
     def leaf_shapes(self) -> List[Tuple[Tensor, tuple]]:
         return [(t, t.data.shape) for t in self._leaves.values()]
 
@@ -992,6 +1050,23 @@ class _PlanBuilder:
                                          late=True)
                     dx4 = dx3.reshape(n, c, h, wd)
             sink_x = self._sink_donate(x) if need_dx else None
+            w_out = self._leaf_out(rec, w_t)
+            w_out2 = w_out.reshape(k, c) if w_out is not None else None
+            b_out = self._leaf_out(rec, b_t)
+
+            def give_wb(g: np.ndarray) -> None:
+                if w_out is None:
+                    dw = np.add.reduce(dwn, axis=0).reshape(k, c, 1, 1)
+                else:
+                    np.add.reduce(dwn, axis=0, out=w_out2)
+                    dw = w_out
+                F._give_grad(w_t, dw)
+                if b_t is not None:
+                    if b_out is None:
+                        F._give_grad(b_t, g.sum(axis=(0, 2, 3)))
+                    else:
+                        g.sum(axis=(0, 2, 3), out=b_out)
+                        F._give_grad(b_t, b_out)
 
             if split_bwd:
                 def bwd_dw() -> None:
@@ -1003,10 +1078,7 @@ class _PlanBuilder:
                         np.matmul(dym, xmT, out=dwn)
                     else:
                         np.matmul(dym, xbox[0].transpose(0, 2, 1), out=dwn)
-                    dw = np.add.reduce(dwn, axis=0).reshape(k, c, 1, 1)
-                    F._give_grad(w_t, dw)
-                    if b_t is not None:
-                        F._give_grad(b_t, g.sum(axis=(0, 2, 3)))
+                    give_wb(g)
 
                 def bwd_dx() -> None:
                     g = grads[o]
@@ -1032,8 +1104,9 @@ class _PlanBuilder:
                     np.matmul(dym, xmT, out=dwn)
                 else:
                     np.matmul(dym, xbox[0].transpose(0, 2, 1), out=dwn)
-                dw = np.add.reduce(dwn, axis=0).reshape(k, c, 1, 1)
-                db = g.sum(axis=(0, 2, 3)) if b_t is not None else None
+                # Extract dw/db before the dx phase: the arena may lay the
+                # phase-"b" staging over dwn's bytes.
+                give_wb(g)
                 if need_dx:
                     if stride > 1:
                         np.matmul(w2t, dym, out=tmp3)
@@ -1048,9 +1121,6 @@ class _PlanBuilder:
                     else:
                         np.matmul(w2t, dym, out=dx3)
                         sink_x(dx4)
-                F._give_grad(w_t, dw)
-                if b_t is not None:
-                    F._give_grad(b_t, db)
                 ws.release(g)
                 grads[o] = None
             return fwd, bwd
@@ -1225,6 +1295,24 @@ class _PlanBuilder:
         else:
             compute_dx = None
 
+        w_out = self._leaf_out(rec, w_t)
+        w_out3 = w_out.reshape(k, c * r * s) if w_out is not None else None
+        b_out = self._leaf_out(rec, b_t)
+
+        def give_wb(g: np.ndarray) -> None:
+            if w_out is None:
+                dw = np.add.reduce(dwn, axis=0).reshape(k, c, r, s)
+            else:
+                np.add.reduce(dwn, axis=0, out=w_out3)
+                dw = w_out
+            F._give_grad(w_t, dw)
+            if b_t is not None:
+                if b_out is None:
+                    F._give_grad(b_t, g.sum(axis=(0, 2, 3)))
+                else:
+                    g.sum(axis=(0, 2, 3), out=b_out)
+                    F._give_grad(b_t, b_out)
+
         if split_bwd:
             def bwd_dw() -> None:
                 g = grads[o]
@@ -1233,10 +1321,7 @@ class _PlanBuilder:
                 if regather is not None:
                     regather()
                 np.matmul(g.reshape(n, k, ho * wo), cols_bT, out=dwn)
-                F._give_grad(w_t,
-                             np.add.reduce(dwn, axis=0).reshape(k, c, r, s))
-                if b_t is not None:
-                    F._give_grad(b_t, g.sum(axis=(0, 2, 3)))
+                give_wb(g)
 
             def bwd_dx() -> None:
                 g = grads[o]
@@ -1253,13 +1338,11 @@ class _PlanBuilder:
             if regather is not None:
                 regather()
             np.matmul(dym, cols_bT, out=dwn)
-            dw = np.add.reduce(dwn, axis=0).reshape(k, c, r, s)
-            db = g.sum(axis=(0, 2, 3)) if b_t is not None else None
+            # Extract dw/db before the dx phase: the arena may lay the
+            # phase-"b" staging over dwn's bytes.
+            give_wb(g)
             if compute_dx is not None:
                 sink_x(compute_dx(g))
-            F._give_grad(w_t, dw)
-            if b_t is not None:
-                F._give_grad(b_t, db)
             ws.release(g)
             grads[o] = None
         return fwd, bwd
@@ -1328,6 +1411,8 @@ class _PlanBuilder:
         if not self.keep_ctx:
             return fwd, None
         sink_x = self._sink_donate(x)
+        w_out = self._leaf_out(rec, w_t)
+        b_out = self._leaf_out(rec, b_t)
         from . import functional as F
 
         def bwd() -> None:
@@ -1335,9 +1420,17 @@ class _PlanBuilder:
             if g is None:
                 return
             sink_x(np.matmul(g, w_t.data))
-            F._give_grad(w_t, np.matmul(g.T, rd_x()))
+            if w_out is None:
+                F._give_grad(w_t, np.matmul(g.T, rd_x()))
+            else:
+                np.matmul(g.T, rd_x(), out=w_out)
+                F._give_grad(w_t, w_out)
             if b_t is not None:
-                F._give_grad(b_t, g.sum(axis=0))
+                if b_out is None:
+                    F._give_grad(b_t, g.sum(axis=0))
+                else:
+                    g.sum(axis=0, out=b_out)
+                    F._give_grad(b_t, b_out)
             ws.release(g)
             grads[o] = None
         return fwd, bwd
@@ -1385,6 +1478,13 @@ class _PlanBuilder:
             np.true_divide(mu, m, out=mu, casting="unsafe")
             ex2 = np.einsum("ncp,ncp->c", x3, x3) / m
             var = np.maximum(ex2 - mu * mu, 0.0)
+            # Observe batch statistics exactly where the eager kernel does
+            # (before the EMA): elastic workers ship (mu, var) per BN layer
+            # to the coordinator through this sink.  Dynamic lookup — the
+            # sink is installed per process, after plans may already exist.
+            sink = _norm._BN_STATS_SINK
+            if sink is not None:
+                sink(rm, mu, var)
             # In-place EMA exactly as the eager kernel (*=, += forms).
             np.multiply(rm, 1.0 - momentum, out=rm)
             np.add(rm, momentum * mu, out=rm)
@@ -1405,6 +1505,8 @@ class _PlanBuilder:
             return fwd, None
 
         sink_x = self._sink_donate(x)
+        g_out = self._leaf_out(rec, g_t)
+        b_out = self._leaf_out(rec, b_t)
         dx = self._grad_buf(rec, x, (n, c, h, w), dtype)
         gbuf = self._bwd_buf(rec, (n, c, h, w), dtype, tag="batch_norm.g")
         if relu_flag:
@@ -1424,9 +1526,18 @@ class _PlanBuilder:
             else:
                 g = gr
             g3 = g.reshape(n, c, h * w)
-            dbeta = np.add.reduce(g3, axis=(0, 2))
+            if b_out is None:
+                dbeta = np.add.reduce(g3, axis=(0, 2))
+            else:
+                dbeta = np.add.reduce(g3, axis=(0, 2), out=b_out)
             sgx = np.einsum("ncp,ncp->c", g3, xv.reshape(n, c, h * w))
-            dgamma = (sgx - mu * dbeta) * inv_std
+            if g_out is None:
+                dgamma = (sgx - mu * dbeta) * inv_std
+            else:
+                # Same op sequence as above, landing in the bound sink:
+                # (sgx - mu*dbeta) is written onto the per-call sgx array.
+                np.subtract(sgx, mu * dbeta, out=sgx)
+                dgamma = np.multiply(sgx, inv_std, out=g_out)
             c1 = (g_t.data * inv_std).astype(dtype, copy=False)
             c2 = (-(c1 * inv_std * dgamma) / m).astype(dtype, copy=False)
             c0 = (-(c1 * dbeta) / m - c2 * mu).astype(dtype, copy=False)
@@ -1833,6 +1944,23 @@ class StepPlan:
         self._level_names: Optional[List[List[str]]] = None
         self._workers = 1
         self._schedule = None
+        #: zero-copy gradient sinks baked into this plan's thunks:
+        #: ``id(leaf Tensor) -> bound destination array`` (the elastic
+        #: worker's shared-memory segment).  Empty when no binding was
+        #: installed at capture time.
+        self._sink_bound: Dict[int, np.ndarray] = {}
+        #: ``id(leaf Tensor) -> id(record)`` of the op whose backward
+        #: writes that leaf's gradient (single-use leaves only)
+        self._leaf_sink_rec: Dict[int, int] = {}
+        #: ``id(leaf Tensor) -> index into _bwd`` of the thunk after which
+        #: the leaf's gradient is final (filled by the assembler)
+        self._leaf_bwd_idx: Dict[int, int] = {}
+        #: same, as an index into ``_levels`` for level-scheduled replay
+        self._leaf_bwd_level: Dict[int, int] = {}
+        #: comm-launch thunks spliced into replay: fired after the given
+        #: backward thunk (serial) / after the given level (parallel)
+        self._comm_at: Dict[int, List[Callable[[], None]]] = {}
+        self._comm_at_level: Dict[int, List[Callable[[], None]]] = {}
         self.generation = ws.PLAN_GENERATION
         self.engine_sig = (ws.config.pooling, ws.config.fused_bnrelu,
                            ws.config.conv_impl, ws.config.mem_plan,
@@ -1853,6 +1981,40 @@ class StepPlan:
             if t.data.shape != shape:
                 return "parameter shape changed since capture"
         return None
+
+    # -- plan-scheduled communication --------------------------------------
+    def add_comm_thunk(self, leaf_ids: List[int],
+                       fn: Callable[[], None]) -> bool:
+        """Schedule ``fn`` to run as soon as every listed leaf's gradient
+        is final during backward replay (the elastic worker's per-bucket
+        launch notification).
+
+        Returns ``False`` — caller must fall back to firing ``fn`` after
+        the full replay — unless *every* leaf is both zero-copy bound (its
+        gradient lands in shared memory with no post-run copy) and tracked
+        to a backward thunk.  On a level-scheduled plan the launch is
+        deferred to the end of the latest level touching the bucket, since
+        thunks within a level may complete in any order.
+        """
+        if self.kind != "train":
+            return False
+        for lid in leaf_ids:
+            if lid not in self._sink_bound or lid not in self._leaf_bwd_idx:
+                return False
+            if self._levels is not None and lid not in self._leaf_bwd_level:
+                return False
+        idx = max(self._leaf_bwd_idx[lid] for lid in leaf_ids)
+        self._comm_at.setdefault(idx, []).append(fn)
+        if self._levels is not None:
+            lvl = max(self._leaf_bwd_level[lid] for lid in leaf_ids)
+            self._comm_at_level.setdefault(lvl, []).append(fn)
+        return True
+
+    def clear_comm_thunks(self) -> None:
+        """Remove every scheduled comm launch (plan reverts to pure
+        compute; the serial-comm path fires notifications itself)."""
+        self._comm_at.clear()
+        self._comm_at_level.clear()
 
     # -- memory reporting --------------------------------------------------
     def mem_metrics(self) -> Optional[Dict[str, float]]:
@@ -1883,8 +2045,17 @@ class StepPlan:
             loss = values[self._loss_slot]
             logits = values[self._logits_slot]
             grads[self._loss_slot] = np.ones_like(loss)
-            for b in self._bwd:
-                b()
+            comm = self._comm_at
+            if comm:
+                for i, b in enumerate(self._bwd):
+                    b()
+                    fns = comm.get(i)
+                    if fns is not None:
+                        for fn in fns:
+                            fn()
+            else:
+                for b in self._bwd:
+                    b()
         # Drop activation references eagerly (peak-memory parity with the
         # eager engine, whose graph teardown frees them in backward()).
         for i in range(self.n_slots):
@@ -1908,10 +2079,18 @@ class StepPlan:
         stats = _par.STATS
         t0 = time.perf_counter()
         level_times: List[float] = []
+        comm = self._comm_at_level
         with pool.caller_lock, _par.limit_blas_threads(1):
-            for level in self._levels:
+            for li, level in enumerate(self._levels):
                 lt0 = time.perf_counter()
                 pool.run_level(level)
+                fns = comm.get(li)
+                if fns is not None:
+                    # Fired on the coordinator thread after the level
+                    # barrier — every sink thunk of the bucket has retired.
+                    for fn in fns:
+                        fn()
+                    stats.comm_thunks_fired += len(fns)
                 level_times.append(time.perf_counter() - lt0)
         stats.replays += 1
         stats.levels_run += len(self._levels)

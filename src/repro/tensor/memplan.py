@@ -221,6 +221,9 @@ class MemPlanner:
         self.peak_bytes = 0
         self.alias_buffers = 0
         self.solve_seconds = 0.0
+        #: bytes of leaf gradient sinks bound outside the arena (zero-copy
+        #: shared-memory segments), keyed by leaf id — see note_external
+        self._external: Dict[int, int] = {}
 
     # -- request / serve ---------------------------------------------------
     def alloc(self, shape: tuple, dtype, start: int, end: int, *,
@@ -400,6 +403,19 @@ class MemPlanner:
                 f"serve pass consumed {self._cursor} of "
                 f"{len(self.slabs)} planned buffers")
 
+    def note_external(self, key: int, nbytes: int) -> None:
+        """Account a gradient-sink buffer served from *outside* the arena.
+
+        Zero-copy gradient exchange (:mod:`repro.distributed`) binds leaf
+        gradient sinks to shared-memory mmap segments whose offsets are
+        fixed by the communication layout — the plan builder writes those
+        gradients in place instead of requesting arena slabs, so the bytes
+        are reported here rather than in ``arena_bytes``.  Keyed by leaf
+        identity: both builder passes note the same sinks without double
+        counting.
+        """
+        self._external[key] = int(nbytes)
+
     # -- reporting ---------------------------------------------------------
     @property
     def savings(self) -> float:
@@ -412,6 +428,7 @@ class MemPlanner:
                 "naive_bytes": float(self.naive_bytes),
                 "peak_bytes": float(self.peak_bytes),
                 "alias_buffers": float(self.alias_buffers),
+                "external_sink_bytes": float(sum(self._external.values())),
                 "savings": self.savings}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

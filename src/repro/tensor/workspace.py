@@ -79,6 +79,23 @@ class EngineConfig:
     #: counts as one; ``replay_workers - 1`` daemon workers are spawned).
     #: Values < 2 disable parallel scheduling even if ``parallel_replay``.
     replay_workers: int = 4
+    #: elastic engine: launch each gradient bucket's ring exchange as soon
+    #: as every worker has produced it (overlapping communication with the
+    #: remaining backward compute) instead of one monolithic ring after the
+    #: step.  Bit-exact either way (see ``repro.distributed.allreduce``).
+    comm_overlap: bool = True
+    #: target payload bytes per gradient bucket (module-aligned; the last
+    #: bucket takes the remainder)
+    comm_bucket_bytes: int = 65536
+    #: elastic engine: bind worker gradient sinks directly to the
+    #: shared-memory allreduce segments (backward writes gradients in
+    #: place; no per-step pack/copy).  Requires compiled worker steps to
+    #: take effect; bit-exact either way.
+    comm_zero_copy: bool = True
+    #: elastic engine: capture-and-replay compiled training steps inside
+    #: each worker process (the single-process ``compile_step`` machinery,
+    #: one plan per worker)
+    dist_compile: bool = True
 
 
 config = EngineConfig(
@@ -88,6 +105,10 @@ config = EngineConfig(
     mem_plan=_env_flag("REPRO_MEM_PLAN", True),
     parallel_replay=_env_flag("REPRO_PARALLEL_REPLAY", False),
     replay_workers=int(os.environ.get("REPRO_REPLAY_WORKERS", "4")),
+    comm_overlap=_env_flag("REPRO_COMM_OVERLAP", True),
+    comm_bucket_bytes=int(os.environ.get("REPRO_COMM_BUCKET_BYTES", "65536")),
+    comm_zero_copy=_env_flag("REPRO_COMM_ZEROCOPY", True),
+    dist_compile=_env_flag("REPRO_DIST_COMPILE", True),
 )
 
 
@@ -283,6 +304,40 @@ def invalidate_plans() -> None:
         gen = PLAN_GENERATION
     for hook in _invalidation_hooks:
         hook(gen)
+
+
+# -- gradient-sink binding ---------------------------------------------------
+#: Leaf-tensor gradient destinations for zero-copy exchange: maps
+#: ``id(param Tensor)`` to the shared-memory array (shaped like the
+#: parameter) its gradient must land in.  Installed per process by an
+#: elastic worker before capturing its step plan; the plan builder
+#: (:mod:`repro.tensor.compile`) consults it at capture time and emits
+#: ``out=`` kernel forms that write parameter gradients straight into the
+#: bound arrays — which *are* the worker's allreduce mmap segments, so the
+#: backward pass is the gradient pack.  Empty everywhere else (trainer,
+#: tests, simulation); binding nothing recovers the private-buffer layout.
+_GRAD_SINKS: Dict[int, np.ndarray] = {}
+
+
+def bind_grad_sinks(mapping: Dict[int, np.ndarray]) -> None:
+    """Install the leaf-gradient destination map (replaces any previous).
+
+    Callers must invalidate existing plans themselves if the binding
+    changes between captures of the same generation (in practice the
+    binding only changes on resync, which already bumps the generation).
+    """
+    _GRAD_SINKS.clear()
+    _GRAD_SINKS.update(mapping)
+
+
+def clear_grad_sinks() -> None:
+    """Remove every leaf-gradient binding."""
+    _GRAD_SINKS.clear()
+
+
+def grad_sink_for(tensor_id: int):
+    """The bound gradient destination for a leaf tensor id, or ``None``."""
+    return _GRAD_SINKS.get(tensor_id)
 
 
 def acquire(shape: tuple, dtype=np.float32, zero: bool = False) -> np.ndarray:

@@ -99,9 +99,9 @@ class TrainerConfig:
     #: construction.  ``None`` defers to ``REPRO_PARALLEL_REPLAY``
     #: (default off); pinned onto the engine config for the duration of
     #: :meth:`train` like ``mem_plan``.  Only affects the compiled
-    #: single-process path — ``workers > 1`` (elastic/sim data-parallel)
-    #: never compiles, so the two features compose by partitioning: procs
-    #: from the elastic engine, threads from replay.
+    #: single-process path — elastic workers compile their own (serial)
+    #: plans and the sim never compiles, so the two features compose by
+    #: partitioning: procs from the elastic engine, threads from replay.
     parallel_replay: Optional[bool] = None
     #: total executor threads for parallel replay (calling thread included);
     #: ``None`` defers to ``REPRO_REPLAY_WORKERS`` (default 4)
@@ -117,6 +117,19 @@ class TrainerConfig:
     #: elastic only: optional :class:`repro.distributed.FaultPlan` scripting
     #: deterministic worker failures (testing / resilience drills)
     dist_fault_plan: Optional[object] = None
+    #: elastic only: reduce gradient buckets while workers still compute
+    #: (``None`` defers to ``REPRO_COMM_OVERLAP``, default on)
+    dist_comm_overlap: Optional[bool] = None
+    #: elastic only: target bucket size in bytes for the overlapped exchange
+    #: (``None`` defers to ``REPRO_COMM_BUCKET_BYTES``, default 64 KiB)
+    dist_bucket_bytes: Optional[int] = None
+    #: elastic only: bind workers' gradient sinks directly into the shared
+    #: allreduce segments, eliding the pack copy (``None`` defers to
+    #: ``REPRO_COMM_ZEROCOPY``, default on)
+    dist_zero_copy: Optional[bool] = None
+    #: elastic only: let workers replay compiled step plans instead of
+    #: eager steps (``None`` defers to ``REPRO_DIST_COMPILE``, default on)
+    dist_compile: Optional[bool] = None
 
 
 class Trainer:
@@ -269,7 +282,11 @@ class Trainer:
             self._elastic = ElasticEngine(
                 self.model, self.cfg.workers,
                 heartbeat_timeout=self.cfg.dist_heartbeat_timeout,
-                fault_plan=self.cfg.dist_fault_plan)
+                fault_plan=self.cfg.dist_fault_plan,
+                comm_overlap=self.cfg.dist_comm_overlap,
+                bucket_bytes=self.cfg.dist_bucket_bytes,
+                zero_copy=self.cfg.dist_zero_copy,
+                compile_steps=self.cfg.dist_compile)
         return self._elastic
 
     def _step_parallel(self, xb: np.ndarray, yb: np.ndarray
