@@ -21,3 +21,7 @@ def test_tab2_inference_throughput(benchmark, scale):
     large_batch = [r[f"speedup_{b2}"] for r in result["rows"]]
     small_batch = [r[f"speedup_{b1}"] for r in result["rows"]]
     assert np.mean(large_batch) > 0.8 * np.mean(small_batch)
+    # the measurement went through serve plan replays, not an eager loop
+    for r in result["rows"]:
+        assert r["served_replays"] > 0, r
+        assert r["served_eager_rows"] == 0, r

@@ -1,0 +1,107 @@
+"""Dynamic request batcher — a pure, virtual-time dispatch state machine.
+
+The batcher decides *when* a group of queued single-image requests becomes
+a batch: immediately once ``max_batch`` requests for one model are queued,
+or when the oldest queued request has waited ``latency_budget`` seconds.
+It owns no clock and no threads — every method takes ``now`` explicitly —
+so tests drive it deterministically in virtual time and the
+:class:`~repro.serve.server.InferenceServer` drives it with
+``time.perf_counter``.
+
+Dispatch invariants (pinned by ``tests/serve/test_batcher_property.py``):
+
+- every submitted request appears in exactly one dispatched batch;
+- no batch exceeds ``max_batch`` and never mixes models;
+- per-model FIFO order is preserved within and across batches;
+- a request is dispatchable no later than ``arrival + latency_budget``
+  (the wall-clock wait additionally includes at most one in-flight batch
+  window, since the single worker drains one batch at a time).
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["BatcherConfig", "DynamicBatcher"]
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    #: hard cap on requests coalesced into one plan replay
+    max_batch: int = 8
+    #: seconds a lone request may wait for company before dispatch
+    latency_budget: float = 0.005
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.latency_budget < 0.0:
+            raise ValueError("latency_budget must be >= 0")
+
+
+class DynamicBatcher:
+    """Latency-budget queue coalescing requests per model.
+
+    Items are opaque to the batcher; callers attach whatever state they
+    need (the server enqueues request objects carrying futures).
+    """
+
+    def __init__(self, config: Optional[BatcherConfig] = None):
+        self.config = config or BatcherConfig()
+        #: model name -> FIFO of (arrival_time, item)
+        self._queues: Dict[str, Deque[Tuple[float, object]]] = {}
+        self.submitted = 0
+        self.dispatched = 0
+        self.batches = 0
+
+    # -- producer side -----------------------------------------------------
+    def submit(self, model: str, item: object, now: float) -> None:
+        """Queue one request for ``model`` arriving at time ``now``."""
+        self._queues.setdefault(model, deque()).append((now, item))
+        self.submitted += 1
+
+    # -- consumer side -----------------------------------------------------
+    def pending(self) -> int:
+        """Total requests queued across all models."""
+        return sum(len(q) for q in self._queues.values())
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest time a currently-queued request must dispatch by, or
+        ``None`` when nothing is queued.  A full queue's deadline is its
+        head arrival time (it is already overdue)."""
+        deadline = None
+        budget = self.config.latency_budget
+        for q in self._queues.values():
+            if not q:
+                continue
+            head = q[0][0]
+            due = head if len(q) >= self.config.max_batch else head + budget
+            if deadline is None or due < deadline:
+                deadline = due
+        return deadline
+
+    def take(self, now: float, flush: bool = False
+             ) -> List[Tuple[str, List[object]]]:
+        """Pop every batch that is due at time ``now``.
+
+        Full batches dispatch unconditionally; a partial group dispatches
+        once its oldest request has waited the latency budget (or always,
+        with ``flush=True`` — the server's shutdown drain).  Returns
+        ``[(model, [item, ...]), ...]`` in deterministic model-insertion /
+        FIFO order; may be empty.
+        """
+        cfg = self.config
+        batches: List[Tuple[str, List[object]]] = []
+        for model, q in self._queues.items():
+            while len(q) >= cfg.max_batch:
+                batches.append(
+                    (model, [q.popleft()[1] for _ in range(cfg.max_batch)]))
+            if q and (flush or now >= q[0][0] + cfg.latency_budget):
+                batches.append((model, [t[1] for t in q]))
+                q.clear()
+        for empty in [m for m, q in self._queues.items() if not q]:
+            del self._queues[empty]
+        self.batches += len(batches)
+        self.dispatched += sum(len(items) for _, items in batches)
+        return batches

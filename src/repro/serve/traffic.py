@@ -1,0 +1,88 @@
+"""Deterministic synthetic open-loop traffic for the serving benchmark.
+
+Open loop means arrivals are scheduled ahead of time from a seeded
+Poisson process (exponential inter-arrivals at the offered QPS) and do
+*not* slow down when the server lags — latency is measured from each
+request's **scheduled** arrival instant, so queueing delay under
+overload is charged to the server, exactly as a real load generator
+(wrk2-style "coordinated omission"-free accounting) would.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .server import InferenceServer
+
+__all__ = ["TrafficResult", "exponential_arrivals", "run_open_loop"]
+
+
+@dataclass
+class TrafficResult:
+    offered_qps: float
+    achieved_qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    requests: int
+    duration_s: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"offered_qps": self.offered_qps,
+                "achieved_qps": self.achieved_qps,
+                "p50_ms": self.p50_ms,
+                "p99_ms": self.p99_ms,
+                "mean_ms": self.mean_ms,
+                "max_ms": self.max_ms,
+                "requests": self.requests,
+                "duration_s": self.duration_s}
+
+
+def exponential_arrivals(n: int, qps: float, seed: int = 0) -> np.ndarray:
+    """``n`` scheduled arrival offsets (seconds from start) at rate ``qps``."""
+    if qps <= 0.0:
+        raise ValueError("qps must be positive")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / qps, size=n))
+
+
+def run_open_loop(server: InferenceServer, model: str, samples: np.ndarray,
+                  arrivals: np.ndarray, offered_qps: float,
+                  timeout: Optional[float] = 60.0) -> TrafficResult:
+    """Fire ``len(arrivals)`` single-image requests on schedule; collect
+    per-request latency from scheduled arrival to response completion.
+
+    ``samples`` is a pool ``(k, C, H, W)``; request ``i`` sends sample
+    ``i % k``.  Blocks until every response lands.
+    """
+    n = len(arrivals)
+    pool = samples.shape[0]
+    t0 = time.perf_counter()
+    futures = []
+    for i in range(n):
+        target = t0 + float(arrivals[i])
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        futures.append((target, server.submit(model, samples[i % pool])))
+    lat = np.empty(n)
+    t_last = t0
+    for i, (target, fut) in enumerate(futures):
+        fut.result(timeout)
+        lat[i] = fut.t_done - target
+        t_last = max(t_last, fut.t_done)
+    duration = max(t_last - t0, 1e-9)
+    lat_ms = lat * 1e3
+    return TrafficResult(
+        offered_qps=float(offered_qps),
+        achieved_qps=float(n / duration),
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        mean_ms=float(lat_ms.mean()),
+        max_ms=float(lat_ms.max()),
+        requests=n,
+        duration_s=float(duration))

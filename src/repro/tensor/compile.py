@@ -65,7 +65,7 @@ from . import tensor as _tensor_mod
 from .tensor import Tensor, no_grad
 
 __all__ = ["Tape", "StepPlan", "PlanCache", "PlanStats", "STATS",
-           "capture_training_step", "capture_forward"]
+           "BatchPadder", "capture_training_step", "capture_forward"]
 
 
 @dataclass
@@ -588,9 +588,16 @@ class Tape:
         except _CaptureError as e:
             return None, str(e)
 
-    def finalize_forward(self, logits: Tensor
+    def finalize_forward(self, logits: Tensor, *, row_stable: bool = False
                          ) -> Tuple[Optional["StepPlan"], Optional[str]]:
-        """Compile a forward-only (inference) plan ending at ``logits``."""
+        """Compile a forward-only (inference) plan ending at ``logits``.
+
+        ``row_stable=True`` lowers batch-sensitive ops (the final Linear's
+        GEMM) per sample, so every row of the replayed logits is bit-equal
+        to a batch-1 eager forward of that sample alone — the serving
+        tier's padding/tail contract.  Slightly slower per batch; training
+        and evaluation captures keep the standard batched lowering.
+        """
         if self._active:
             return None, "tape still active (exit the capture context first)"
         if self.failed_reason is not None:
@@ -599,12 +606,14 @@ class Tape:
             return None, "logits were not produced by recorded ops"
         try:
             return self._build(kind="forward", bwd_nodes=[],
-                               loss=None, logits=logits), None
+                               loss=None, logits=logits,
+                               row_stable=row_stable), None
         except _CaptureError as e:
             return None, str(e)
 
     def _build(self, kind: str, bwd_nodes: List[Tensor],
-               loss: Optional[Tensor], logits: Tensor) -> "StepPlan":
+               loss: Optional[Tensor], logits: Tensor,
+               row_stable: bool = False) -> "StepPlan":
         if len(self._input_slots) != 1:
             raise _CaptureError("exactly one marked input is required")
         lt = _Lifetimes(self, bwd_nodes, kind, loss, logits)
@@ -615,16 +624,17 @@ class Tape:
         if ws.config.mem_plan:
             try:
                 return self._build_planned(kind, bwd_nodes, loss, logits,
-                                           lt, sched)
+                                           lt, sched, row_stable)
             except _mp.PlanError as e:
                 _mp.STATS.fallbacks += 1
                 _mp.STATS.last_fallback_reason = str(e)
         return self._assemble(kind, bwd_nodes, loss, logits, lt, mem=None,
-                              sched=sched)
+                              sched=sched, row_stable=row_stable)
 
     def _build_planned(self, kind: str, bwd_nodes: List[Tensor],
                        loss: Optional[Tensor], logits: Tensor,
-                       lt: _Lifetimes, sched) -> "StepPlan":
+                       lt: _Lifetimes, sched,
+                       row_stable: bool = False) -> "StepPlan":
         """Two-pass build: size the arena, then assemble thunks over it.
 
         Pass 1 runs the builder in *plan* mode — every plan-owned buffer
@@ -648,7 +658,8 @@ class Tape:
         scratch = StepPlan(kind=kind, n_slots=self._n_slots,
                            input_slot=self._input_slots[0])
         sizer = _PlanBuilder(self, scratch, keep_ctx=(kind == "train"),
-                             lt=lt, mem=mem, sched=sched)
+                             lt=lt, mem=mem, sched=sched,
+                             row_stable=row_stable)
         for rec in self.records:
             sizer.build(rec)
         if sched is None:
@@ -663,17 +674,20 @@ class Tape:
                     break
         mem.materialize(ws.PLAN_GENERATION)
         plan = self._assemble(kind, bwd_nodes, loss, logits, lt, mem=mem,
-                              sched=sched)
+                              sched=sched, row_stable=row_stable)
         mem.finish()
         return plan
 
     def _assemble(self, kind: str, bwd_nodes: List[Tensor],
                   loss: Optional[Tensor], logits: Tensor,
-                  lt: _Lifetimes, mem, sched=None) -> "StepPlan":
+                  lt: _Lifetimes, mem, sched=None,
+                  row_stable: bool = False) -> "StepPlan":
         plan = StepPlan(kind=kind, n_slots=self._n_slots,
                         input_slot=self._input_slots[0])
+        plan.row_stable = row_stable
         builder = _PlanBuilder(self, plan, keep_ctx=(kind == "train"),
-                               lt=lt, mem=mem, sched=sched)
+                               lt=lt, mem=mem, sched=sched,
+                               row_stable=row_stable)
         pairs = {id(rec): builder.build(rec) for rec in self.records}
         plan._fwd = [pairs[id(rec)][0] for rec in self.records]
         if sched is None:
@@ -766,10 +780,12 @@ class _PlanBuilder:
     """
 
     def __init__(self, tape: Tape, plan: "StepPlan", keep_ctx: bool,
-                 lt: Optional[_Lifetimes] = None, mem=None, sched=None):
+                 lt: Optional[_Lifetimes] = None, mem=None, sched=None,
+                 row_stable: bool = False):
         self.tape = tape
         self.plan = plan
         self.keep_ctx = keep_ctx
+        self.row_stable = row_stable
         self.pooling = ws.config.pooling
         self._leaves: Dict[int, Tensor] = {}
         #: liveness intervals and the arena planner (None -> every
@@ -1402,11 +1418,26 @@ class _PlanBuilder:
         o = self.tape.slot_of[id(rec.out)]
         values, grads = self.plan._values, self.plan._grads
 
-        def fwd() -> None:
-            y = rd_x() @ w_t.data.T
-            if b_t is not None:
-                y = y + b_t.data
-            values[o] = y
+        if self.row_stable and not self.keep_ctx:
+            # Serving lowering: one GEMM per sample via the 3-D batched
+            # matmul.  2-D GEMM rows are not bit-stable across the batch
+            # dimension (BLAS picks different kernels/blockings per M), so
+            # the standard lowering breaks the serve tier's contract that
+            # padding and batching never perturb a request's logits.  The
+            # per-sample form is bit-identical to ``x[i:i+1] @ W.T + b``
+            # for every row at every batch size.
+            def fwd() -> None:
+                xv = rd_x()
+                y = np.matmul(xv[:, None, :], w_t.data.T)[:, 0, :]
+                if b_t is not None:
+                    y = y + b_t.data
+                values[o] = y
+        else:
+            def fwd() -> None:
+                y = rd_x() @ w_t.data.T
+                if b_t is not None:
+                    y = y + b_t.data
+                values[o] = y
 
         if not self.keep_ctx:
             return fwd, None
@@ -1966,11 +1997,57 @@ class StepPlan:
                            ws.config.conv_impl, ws.config.mem_plan,
                            ws.config.parallel_replay,
                            ws.config.replay_workers)
+        #: forward plans captured with the per-sample Linear lowering
+        #: (see Tape.finalize_forward) — the serving tier's contract bit
+        self.row_stable = False
+        #: pinned plans skip the global generation check (see pin())
+        self.pinned = False
+        #: buffers released via release_buffers(); replay must fail loudly
+        self._released = False
+
+    # -- serving lifecycle -------------------------------------------------
+    def pin(self) -> "StepPlan":
+        """Exempt this plan from global-generation invalidation.
+
+        The serving tier registers many models; every ``load_state_dict``
+        bumps the *global* plan generation, which would purge model A's
+        plans whenever model B loads.  A pinned plan trusts its owner (the
+        serve registry) to guarantee the captured model is frozen — the
+        engine-signature and parameter-shape checks still apply, only the
+        generation comparison is skipped.  Never pin a training plan.
+        """
+        self.pinned = True
+        return self
+
+    def release_buffers(self) -> None:
+        """Deterministically free this plan's buffers (serve eviction).
+
+        Drops the thunk lists (whose closures hold the arena views) and
+        releases the memplan arena handle, so ``live_arena_count()`` and
+        the arena bytes fall immediately — no GC pass needed.  The plan is
+        dead afterwards: any replay raises ``RuntimeError``.
+        """
+        self._released = True
+        self._fwd = []
+        self._bwd = []
+        self._levels = None
+        self._level_names = None
+        self._comm_at.clear()
+        self._comm_at_level.clear()
+        self._values = [None] * self.n_slots
+        self._grads = [None] * self.n_slots
+        self._ctxs = [None] * self.n_slots
+        self._leaf_shapes = []
+        if self._mem is not None:
+            self._mem.release()
+            self._mem = None
 
     # -- validation --------------------------------------------------------
     def invalid_reason(self) -> Optional[str]:
         """Cheap stationarity check; ``None`` means the plan may replay."""
-        if self.generation != ws.PLAN_GENERATION:
+        if self._released:
+            return "plan buffers released (plan was evicted)"
+        if not self.pinned and self.generation != ws.PLAN_GENERATION:
             return "model reconfigured since capture"
         if (ws.config.pooling, ws.config.fused_bnrelu,
                 ws.config.conv_impl, ws.config.mem_plan,
@@ -2030,6 +2107,8 @@ class StepPlan:
         The caller is responsible for ``optimizer.zero_grad()`` before and
         ``optimizer.step()`` after, exactly as around an eager step.
         """
+        if self._released:
+            raise RuntimeError("cannot replay a released plan")
         t0 = time.perf_counter()
         values = self._values
         grads = self._grads
@@ -2135,6 +2214,8 @@ class StepPlan:
 
     def run_forward(self, x: np.ndarray) -> np.ndarray:
         """Replay a forward-only plan; returns the logits array."""
+        if self._released:
+            raise RuntimeError("cannot replay a released plan")
         t0 = time.perf_counter()
         values = self._values
         values[self._input_slot] = x
@@ -2166,14 +2247,21 @@ class PlanCache:
     that keeps (batch, tail-batch) pairs per stationary phase stays small,
     but a pathological key churn evicts least-recently-used plans instead
     of accumulating arenas for the life of the trainer.
+
+    ``auto_purge=False`` turns the generation sweep off — the serving
+    registry's per-model caches hold *pinned* plans whose validity is
+    scoped to the registry entry, not the global generation (loading one
+    model must not purge another model's hot plans).  LRU-evicted plans
+    then get their buffers released eagerly, since nothing else will.
     """
 
-    def __init__(self, max_entries: int = 8) -> None:
+    def __init__(self, max_entries: int = 8, auto_purge: bool = True) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self._plans: Dict[tuple, object] = {}
         self._generation = ws.PLAN_GENERATION
         self.max_entries = max_entries
+        self.auto_purge = auto_purge
         self.evictions = 0
         # Lookups/stores may race a generation bump from another thread
         # (ws.invalidate_plans is atomic on its side); RLock because
@@ -2182,6 +2270,8 @@ class PlanCache:
 
     def purge_stale(self) -> None:
         """Drop every entry captured before the current plan generation."""
+        if not self.auto_purge:
+            return
         with self._lock:
             gen = ws.plan_generation()
             if self._generation != gen:
@@ -2205,16 +2295,31 @@ class PlanCache:
             self._plans[key] = value
             while len(self._plans) > self.max_entries:
                 oldest = next(iter(self._plans))
-                del self._plans[oldest]
+                old = self._plans.pop(oldest)
                 self.evictions += 1
+                # Pinned serve plans are owned by this cache alone; free
+                # their arenas now instead of waiting on the GC.
+                if not self.auto_purge and isinstance(old, StepPlan):
+                    old.release_buffers()
 
     def drop(self, key: tuple) -> None:
         with self._lock:
             self._plans.pop(key, None)
 
-    def clear(self) -> None:
+    def clear(self, release: bool = False) -> None:
+        """Drop every entry; ``release=True`` also frees plan buffers
+        (the serve registry's evict path)."""
         with self._lock:
+            if release:
+                for v in self._plans.values():
+                    if isinstance(v, StepPlan):
+                        v.release_buffers()
             self._plans.clear()
+
+    def keys(self) -> List[tuple]:
+        """Snapshot of cached keys in LRU order (oldest first)."""
+        with self._lock:
+            return list(self._plans)
 
     def __len__(self) -> int:
         with self._lock:
@@ -2253,18 +2358,22 @@ def capture_training_step(model, x: np.ndarray, targets: np.ndarray):
     return plan, loss, logits, reason
 
 
-def capture_forward(model, x: np.ndarray):
+def capture_forward(model, x: np.ndarray, *, row_stable: bool = False):
     """Run one inference forward under capture; compile a forward plan.
 
     Returns ``(plan, logits, reason)``.  Runs under ``no_grad`` (building a
     graph that is never backwarded would strand pooled staging buffers).
+    ``row_stable=True`` requests the serving lowering — see
+    :meth:`Tape.finalize_forward`.  Note the returned ``logits`` come from
+    the eager capture pass (standard lowering); a caller needing
+    row-stable outputs must replay the plan.
     """
     t0 = time.perf_counter()
     tape = Tape()
     with tape, no_grad():
         xt = tape.input(x)
         logits = model(xt)
-    plan, reason = tape.finalize_forward(logits)
+    plan, reason = tape.finalize_forward(logits, row_stable=row_stable)
     if plan is not None:
         STATS.captures += 1
         STATS.capture_seconds += time.perf_counter() - t0
@@ -2272,3 +2381,39 @@ def capture_forward(model, x: np.ndarray):
         STATS.fallbacks += 1
         STATS.last_fallback_reason = reason or "capture failed"
     return plan, logits, reason
+
+
+class BatchPadder:
+    """Reusable zero-padded staging buffer for one (batch, sample) shape.
+
+    The serving tier replays a cached plan of batch ``B`` on ``n <= B``
+    requests by staging them into this buffer; rows ``[n:B)`` are zeros.
+    Under the row-stable plan contract pad rows cannot perturb real rows,
+    but they are still re-zeroed after a larger previous stage so replay
+    inputs are a pure function of the current request group.
+    """
+
+    def __init__(self, batch: int, sample_shape: tuple, dtype):
+        self.batch = int(batch)
+        self.sample_shape = tuple(sample_shape)
+        self.buf = np.zeros((self.batch,) + self.sample_shape,
+                            dtype=np.dtype(dtype))
+        self._dirty = 0
+        self.staged = 0
+        self.padded_rows = 0
+
+    def stage(self, x: np.ndarray) -> np.ndarray:
+        """Copy ``x`` (``n <= batch`` samples) in; return the full buffer."""
+        n = x.shape[0]
+        if n > self.batch:
+            raise ValueError(f"group of {n} exceeds padder batch {self.batch}")
+        if tuple(x.shape[1:]) != self.sample_shape:
+            raise ValueError(f"sample shape {x.shape[1:]} != "
+                             f"{self.sample_shape}")
+        self.buf[:n] = x
+        if self._dirty > n:
+            self.buf[n:self._dirty] = 0
+        self._dirty = n
+        self.staged += 1
+        self.padded_rows += self.batch - n
+        return self.buf

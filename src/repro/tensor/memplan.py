@@ -217,6 +217,7 @@ class MemPlanner:
         self._cursor = 0
         self.arena: Optional[np.ndarray] = None
         self._handle: Optional[_ArenaHandle] = None
+        self.released = False
         self.arena_bytes = 0
         self.peak_bytes = 0
         self.alias_buffers = 0
@@ -402,6 +403,23 @@ class MemPlanner:
             raise PlanError(
                 f"serve pass consumed {self._cursor} of "
                 f"{len(self.slabs)} planned buffers")
+
+    def release(self) -> None:
+        """Drop the arena, its handle, and every slab view.
+
+        Deterministic eviction support for the serving tier: releasing the
+        handle removes this arena from the ``weakref`` live registry on the
+        spot (no GC dependence — the handle has no reference cycles), and
+        dropping the slab views lets the arena bytes go as soon as the
+        plan's thunks (which close over those views) are cleared.  The
+        planner is unusable afterwards; callers discard the plan with it.
+        """
+        for s in self.slabs:
+            s.arr = None
+        self._by_slot.clear()
+        self.arena = None
+        self._handle = None
+        self.released = True
 
     def note_external(self, key: int, nbytes: int) -> None:
         """Account a gradient-sink buffer served from *outside* the arena.

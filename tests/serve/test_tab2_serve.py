@@ -1,0 +1,78 @@
+"""Regression: Tab. 2 throughput measures the serve plan path and the
+paper-shape speedup invariant survives the reroute.
+
+``experiments.tab2._throughput`` used to time a hand-rolled eager forward
+loop; it now routes through ``repro.serve.ModelRegistry`` so Tab. 2 and
+``BENCH_serve.json`` measure the same code.  This test pins (a) that the
+measurement really is plan replays (not an eager fallback), and (b) the
+Tab. 2 invariants — pruned >= 1x dense, and large-batch utilization not
+collapsing vs small-batch — on a heavily pruned model where the margin is
+far above CPU timing noise.  The full-strength gate over all four model
+pairs runs in the benchmark suite (``benchmarks/test_tab2_inference_
+throughput.py``), now through this same serve path.
+"""
+
+import numpy as np
+
+from repro.experiments import tab2
+from repro.experiments.configs import SMOKE, make_model
+from repro.prune import prune_and_reconfigure
+
+from ..conftest import sparsify_space
+
+
+def _heavily_pruned(seed=3, frac=0.6):
+    m = make_model("resnet32", "cifar10s", SMOKE, seed=seed)
+    rng = np.random.default_rng(0)
+    g = m.graph
+    for sid, sp in g.spaces.items():
+        if sp.frozen:
+            continue
+        kill = rng.random(sp.size) < frac
+        kill[0] = False
+        sparsify_space(g, sid, kill)
+    prune_and_reconfigure(m)
+    return m
+
+
+def test_throughput_goes_through_serve_plans():
+    dense = make_model("resnet32", "cifar10s", SMOKE, seed=3)
+    stats = {}
+    thr = tab2._throughput(dense, SMOKE.hw, batch=10, repeats=3, stats=stats)
+    assert thr > 0
+    # one capture (warmup) then pure plan replays; never the eager fallback
+    assert stats["captures"] == 1
+    assert stats["exact_replays"] == 3
+    assert stats["eager_rows"] == 0
+
+
+def test_tab2_speedup_invariant_holds_on_serve_path():
+    dense = make_model("resnet32", "cifar10s", SMOKE, seed=3)
+    pruned = _heavily_pruned()
+    b_small, b_large = 10, 100
+    base_small = tab2._throughput(dense, SMOKE.hw, b_small, repeats=5)
+    fast_small = tab2._throughput(pruned, SMOKE.hw, b_small, repeats=5)
+    base_large = tab2._throughput(dense, SMOKE.hw, b_large, repeats=5)
+    fast_large = tab2._throughput(pruned, SMOKE.hw, b_large, repeats=5)
+    # paper Tab. 2 shape: the pruned model serves more images/second
+    assert fast_small / base_small > 1.0, (
+        f"pruned slower at batch {b_small}: "
+        f"{fast_small:.0f} vs {base_small:.0f} img/s")
+    assert fast_large / base_large > 1.0, (
+        f"pruned slower at batch {b_large}: "
+        f"{fast_large:.0f} vs {base_large:.0f} img/s")
+    # larger batches keep utilization: per-image throughput at batch 100
+    # is at least comparable to batch 10 (0.8 guard mirrors the benchmark
+    # suite's noise tolerance)
+    assert base_large > 0.8 * base_small
+    assert fast_large > 0.8 * fast_small
+
+
+def test_tab2_run_reports_serve_evidence():
+    """tab2.run rows carry the serve-path counters for the bench gate."""
+    # run() needs trained models; emulate its per-row measurement contract
+    # on one pair without training by calling the row pieces directly.
+    dense = make_model("resnet32", "cifar10s", SMOKE, seed=3)
+    stats = {}
+    tab2._throughput(dense, SMOKE.hw, 10, stats=stats)
+    assert set(stats) >= {"exact_replays", "captures", "eager_rows"}
