@@ -152,6 +152,49 @@ def test_parallel_replay_parity_smoke():
         f"threaded replay pathologically slow: {step}")
 
 
+def test_sparse_compute_parity_smoke():
+    """Sparse compute paths: bit-identity at full strength, loose speed bar.
+
+    The schedule, kill/resume, and A/B-step bit-identity checks are
+    deterministic and asserted at full strength — a sparse path that
+    diverges from dense fails here, not just slows down.  So is the gate's
+    never-slower guarantee (an accepted decision whose own probe measured
+    the sparse pipeline >5% slower than dense would be a gate bug).  The
+    acceptance-grade speed bar (>= 1.10x at >= 40% dead channels) is
+    asserted on the committed ``results/BENCH_sparse.json`` from the full
+    bench run; the CI-smoke guard only catches the sparse engine becoming
+    pathologically slower than dense.
+    """
+    results = bench_engine.run_sparse_bench(step_warmup=2, step_iters=3,
+                                            step_rounds=5)
+    path = bench_engine.write_results(results, bench_engine.OUT_PATH_SPARSE)
+    assert os.path.exists(path)
+    with open(path) as fh:
+        written = json.load(fh)
+
+    assert written["schedule"]["bit_identical"], \
+        "sparse schedule diverged from dense"
+    assert written["schedule"]["resume_bit_identical"], \
+        "killed+resumed sparse run diverged"
+    assert written["step_bit_identical"], "sparse A/B step diverged"
+    assert written["gate_never_slower_ok"], (
+        "gate accepted a sparse pipeline its own probe measured >5% "
+        "slower than dense")
+    assert written["dead_state"]["channel_dead_fraction"] >= 0.4, \
+        written["dead_state"]
+    assert written["schedule"]["sparse_stats"]["publishes"] > 0
+    assert written["decisions"], "gate recorded no decisions"
+    step = written["train_step"]
+    assert step["before_ms"] > 0 and step["after_ms"] > 0
+    assert step["speedup"] > 0.9, (
+        f"sparse step pathologically slower than dense: {step}")
+
+    index = bench_engine.build_bench_index()
+    ipath = bench_engine.write_results(index, bench_engine.OUT_PATH_INDEX)
+    assert os.path.exists(ipath)
+    assert "sparse" in index["benchmarks"]
+
+
 def test_serve_parity_and_latency_smoke():
     """Serving benchmark at reduced load: the batched-vs-unbatched parity
     gate must be clean and the latency/QPS report well-formed.

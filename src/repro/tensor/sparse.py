@@ -1,0 +1,592 @@
+"""Sparsity-aware compute paths: dead-channel skipping for conv GEMMs.
+
+PruneTrain creates structured sparsity *during* training: between
+reconfigurations, channels below the group-lasso threshold are already
+effectively dead (with ``zero_sparse`` they are exactly zero) but still cost
+full GEMM columns until surgery removes them.  This module is the bridge
+between the pruning side, which knows the dead sets, and the compute side,
+which can skip them:
+
+- **Registry** — :func:`publish` installs per-conv-weight dead channel sets
+  (exported with hysteresis by :class:`repro.prune.tracker.DeadSetExporter`).
+  Entries are keyed by the weight array's identity and validated on lookup,
+  so stale sets can never leak across surgery.  A publish that changes the
+  sets bumps ``PLAN_GENERATION`` (plans respecialize); an identical publish
+  is free — the hysteresis contract that keeps oscillating channels from
+  thrashing plans.
+
+- **Gate** — :func:`conv_gate_for` decides, per conv GEMM signature, whether
+  the sparse pipelines may engage.  The decision is a *measured* one: the
+  dense and sparse pipelines run back to back on real capture data
+  (:class:`repro.costmodel.time.SparseGemmCostModel`), and sparse is chosen
+  only if the probe was **bit-identical** and the measured gain clears
+  ``config.sparse_min_gain``.  The parity probe matters because BLAS kernels
+  may pair multiply-accumulators differently when the reduction dimension
+  shrinks: dropping exactly-zero *columns* from a GEMM reduction is
+  bit-identical for most shapes but not all, while dropping output *rows*
+  always is (rows are independent).  Parity at a shape signature is
+  value-independent (kernel choice depends on shapes/strides), so one probe
+  per signature per reconfiguration interval suffices.  Calibrations are
+  cached per signature — the memory planner's sizer/assembler double build
+  sees identical decisions — and invalidated on every publish, so the gate
+  is re-checked each reconfiguration interval.  All decisions are recorded.
+
+- **Kernels** — run-coalesced gather/scatter (:func:`index_runs` turns
+  sorted channel indices into ``(dst, src, len)`` slice runs so channel
+  selection is a handful of contiguous copies, not fancy indexing) plus the
+  calibration probe pipelines.  The compiled thunks live in
+  :meth:`repro.tensor.compile._PlanBuilder._build_conv2d_sparse`; the eager
+  fallback path lives in :mod:`repro.tensor.ops.conv`.
+
+Dense remains the default and the bit-exact reference: every sparse thunk
+carries per-step guards (weights on dead groups still exactly zero; for
+``dw``, the measured per-channel zero mask of ``dy`` *is* the compaction, so
+it is exact by construction) and falls back to the dense kernels — on the
+same worst-case-dense buffers — the moment a guard fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import workspace as ws
+
+__all__ = [
+    "DeadSet", "ConvGate", "StepState", "SparseStats", "STATS",
+    "index_runs", "publish", "clear", "dead_set_for", "conv_gate_for",
+    "weights_dead", "runs_any_ch",
+]
+
+
+# -- run-coalesced channel selection -----------------------------------------
+
+def index_runs(idx: np.ndarray) -> List[Tuple[int, int, int]]:
+    """Turn sorted channel indices into ``(dst, src, length)`` slice runs.
+
+    Consecutive source indices coalesce into one run, so gather/scatter over
+    a mostly-contiguous live set is a few big ``memcpy``-like slice copies.
+    """
+    runs: List[Tuple[int, int, int]] = []
+    i, m = 0, len(idx)
+    while i < m:
+        j = i
+        while j + 1 < m and idx[j + 1] == idx[j] + 1:
+            j += 1
+        runs.append((i, int(idx[i]), j - i + 1))
+        i = j + 1
+    return runs
+
+
+def runs_any_ch(arr: np.ndarray, runs: List[Tuple[int, int, int]],
+                axis: int = 1) -> bool:
+    """True if any element in the listed channel runs is non-zero.
+
+    Early-outs on the first dirty run — the common case when a guard fails
+    is cheap, and the all-zero case is one bandwidth pass over the dead
+    fraction only.
+    """
+    if axis == 0:
+        for _, s0, ln in runs:
+            if arr[s0:s0 + ln].any():
+                return True
+    else:
+        for _, s0, ln in runs:
+            if arr[:, s0:s0 + ln].any():
+                return True
+    return False
+
+
+# -- dead sets ---------------------------------------------------------------
+
+@dataclass
+class DeadSet:
+    """Dead/live channel index sets for one conv weight, with slice runs."""
+
+    c: int
+    k: int
+    in_dead: np.ndarray
+    out_dead: np.ndarray
+    in_live: np.ndarray
+    out_live: np.ndarray
+    in_live_runs: List[Tuple[int, int, int]] = field(default_factory=list)
+    in_dead_runs: List[Tuple[int, int, int]] = field(default_factory=list)
+    out_live_runs: List[Tuple[int, int, int]] = field(default_factory=list)
+    out_dead_runs: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_masks(cls, in_dead: np.ndarray, out_dead: np.ndarray
+                   ) -> "DeadSet":
+        in_dead = np.asarray(in_dead, dtype=bool)
+        out_dead = np.asarray(out_dead, dtype=bool)
+        ds = cls(c=in_dead.size, k=out_dead.size,
+                 in_dead=np.flatnonzero(in_dead),
+                 out_dead=np.flatnonzero(out_dead),
+                 in_live=np.flatnonzero(~in_dead),
+                 out_live=np.flatnonzero(~out_dead))
+        ds.in_live_runs = index_runs(ds.in_live)
+        ds.in_dead_runs = index_runs(ds.in_dead)
+        ds.out_live_runs = index_runs(ds.out_live)
+        ds.out_dead_runs = index_runs(ds.out_dead)
+        return ds
+
+    @property
+    def in_frac(self) -> float:
+        return self.in_dead.size / self.c if self.c else 0.0
+
+    @property
+    def out_frac(self) -> float:
+        return self.out_dead.size / self.k if self.k else 0.0
+
+
+def weights_dead(w4: np.ndarray, ds: DeadSet) -> bool:
+    """Per-step revival guard: every dead group still exactly zero."""
+    return not (runs_any_ch(w4, ds.out_dead_runs, axis=0)
+                or runs_any_ch(w4, ds.in_dead_runs, axis=1))
+
+
+class StepState:
+    """Mutable per-plan sparse state shared between a conv's thunks.
+
+    ``enabled`` is the sticky revival flag: the forward thunk checks the
+    weight guard each step and, on the first failure (a dead channel came
+    back mid-interval), drops the whole conv to the dense kernels until the
+    next publish respecializes the plan.  ``fwd_live`` records which layout
+    (live-compact vs dense) the forward staged into the shared column
+    buffer this step, so the unplanned compiled backward only re-gathers on
+    a layout mismatch (the planned backward always re-gathers — its column
+    staging is point-lived arena scratch).
+    """
+
+    __slots__ = ("enabled", "fwd_live")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.fwd_live = False
+
+
+# -- statistics (PROFILER.summary()["_sparse"]) ------------------------------
+
+@dataclass
+class SparseStats:
+    publishes: int = 0
+    publish_invalidations: int = 0
+    gate_accepts: int = 0
+    gate_rejects: int = 0
+    fwd_sparse_steps: int = 0
+    fwd_dense_fallbacks: int = 0
+    dw_sparse_steps: int = 0
+    dw_dense_steps: int = 0
+    dx_sparse_steps: int = 0
+    #: GEMM reduction columns skipped, accumulated over steps
+    skipped_cols: int = 0
+    #: measured zero dy rows beyond the published dead set (ReLU-sparse)
+    relu_extra_rows: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        from ..costmodel.time import SPARSE_GEMM
+        out["decisions"] = list(SPARSE_GEMM.decisions)
+        return out
+
+
+STATS = SparseStats()
+
+
+# -- registry ----------------------------------------------------------------
+
+class _Entry:
+    __slots__ = ("tensor", "ds")
+
+    def __init__(self, tensor, ds: DeadSet) -> None:
+        self.tensor = tensor
+        self.ds = ds
+
+
+_REGISTRY: Dict[int, _Entry] = {}
+_published_fp: Optional[tuple] = None
+
+
+def publish(entries, *, invalidate: bool = True) -> bool:
+    """Install the current dead-channel sets.
+
+    ``entries`` is an iterable of ``(weight_tensor, in_dead, out_dead)``
+    with boolean masks over the weight's current channel dims.  Returns
+    True iff the sets changed vs the previous publish — only then is
+    ``PLAN_GENERATION`` bumped (plans respecialize); republishing an
+    identical set is free, which is what lets the hysteresis exporter scan
+    every interval without churning plans.  Every publish invalidates the
+    gate's calibrations so sparse-vs-dense is re-probed on the new sets.
+    """
+    global _published_fp
+    new: Dict[int, _Entry] = {}
+    fp = []
+    for t, in_dead, out_dead in entries:
+        in_dead = np.asarray(in_dead, dtype=bool)
+        out_dead = np.asarray(out_dead, dtype=bool)
+        if not (in_dead.any() or out_dead.any()):
+            continue
+        fp.append((id(t), in_dead.tobytes(), out_dead.tobytes()))
+        new[id(t.data)] = _Entry(t, DeadSet.from_masks(in_dead, out_dead))
+    fingerprint = tuple(fp)
+    prev = _published_fp if _published_fp is not None else ()
+    changed = fingerprint != prev
+    _REGISTRY.clear()
+    _REGISTRY.update(new)
+    _published_fp = fingerprint
+    _gate_memo.clear()
+    from ..costmodel.time import SPARSE_GEMM
+    SPARSE_GEMM.invalidate()
+    STATS.publishes += 1
+    if changed and invalidate:
+        STATS.publish_invalidations += 1
+        ws.invalidate_plans()
+    return changed
+
+
+def clear() -> None:
+    """Drop all published dead sets (plans fall back to dense on rebuild)."""
+    global _published_fp
+    if _REGISTRY:
+        _REGISTRY.clear()
+        ws.invalidate_plans()
+    _published_fp = None
+    _gate_memo.clear()
+
+
+def dead_set_for(w: np.ndarray) -> Optional[DeadSet]:
+    """Published dead set for this exact weight array, or None."""
+    e = _REGISTRY.get(id(w))
+    if e is None or e.tensor.data is not w:
+        return None
+    ds = e.ds
+    if w.ndim != 4 or w.shape[0] != ds.k or w.shape[1] != ds.c:
+        return None
+    return ds
+
+
+# -- the gate ----------------------------------------------------------------
+
+@dataclass
+class ConvGate:
+    """Per-conv gate verdict: which sparse pipelines may engage."""
+
+    ds: DeadSet
+    sig: tuple
+    use_fwd: bool
+    use_dw: bool
+    use_dx: bool
+
+
+_gate_memo: Dict[tuple, Tuple[bool, bool, bool]] = {}
+
+
+def conv_gate_for(w: np.ndarray, x: np.ndarray, stride: int,
+                  padding: int) -> Optional[ConvGate]:
+    """Gate decision for one general (RxS) conv at a concrete input shape.
+
+    Returns None when no sparse path should engage (no published dead set,
+    or the calibration probe rejected every pipeline) — the caller then
+    builds/runs the plain dense kernels.  Decisions are memoized per
+    (signature, dead-set content) until the next publish, making the gate
+    deterministic across the planner's double build and across plan
+    rebuilds within one reconfiguration interval.
+    """
+    if not ws.config.sparse_compute:
+        return None
+    ds = dead_set_for(w)
+    if ds is None:
+        return None
+    k, c, r, s = w.shape
+    kl, cl = ds.out_live.size, ds.in_live.size
+    if kl == 0 or cl == 0 or (kl == k and cl == c):
+        return None
+    from .ops import conv as _conv
+    n, _, h, wd = x.shape
+    ho, wo = _conv.conv_out_size(h, wd, r, s, stride, padding)
+    sig = (n, c, h, wd, k, r, s, stride, padding, cl, kl,
+           len(ds.in_live_runs), len(ds.out_live_runs))
+    memo_key = (sig, ds.in_dead.tobytes(), ds.out_dead.tobytes())
+    hit = _gate_memo.get(memo_key)
+    if hit is not None:
+        use_fwd, use_dw, use_dx = hit
+        return ConvGate(ds, sig, use_fwd, use_dw, use_dx) if use_fwd \
+            else None
+    use_fwd, use_dw, use_dx = _calibrate_conv(
+        sig, x, w, ds, stride, padding, ho, wo)
+    _gate_memo[memo_key] = (use_fwd, use_dw, use_dx)
+    if use_fwd:
+        STATS.gate_accepts += 1
+        return ConvGate(ds, sig, use_fwd, use_dw, use_dx)
+    STATS.gate_rejects += 1
+    return None
+
+
+def _calibrate_conv(sig: tuple, x: np.ndarray, w: np.ndarray, ds: DeadSet,
+                    stride: int, padding: int, ho: int, wo: int
+                    ) -> Tuple[bool, bool, bool]:
+    """Measure dense vs sparse pipelines on real data; probe bit-parity.
+
+    The probe pipelines perform the same per-step work as the production
+    thunks (guard scans included on the sparse side), on pooled scratch.
+    """
+    from ..costmodel.time import SPARSE_GEMM, predicted_sparse_gain
+    from .ops import conv as _conv
+
+    n, c, h, wd = x.shape
+    k, _, r, s = w.shape
+    kl, cl = ds.out_live.size, ds.in_live.size
+    crs, crs_l = c * r * s, cl * r * s
+    p = ho * wo
+    dtype = x.dtype
+    min_gain = ws.config.sparse_min_gain
+    hp, wp = h + 2 * padding, wd + 2 * padding
+
+    xp = ws.acquire((n, c, hp, wp), dtype, zero=True)
+    cols6 = ws.acquire((n, c, r, s, ho, wo), dtype)
+    y_d = ws.acquire((n, k, p), dtype)
+    y_s = ws.acquire((n, k, p), dtype)
+    yl = ws.acquire((n, kl, p), dtype)
+    wl = ws.acquire((kl, crs_l), dtype)
+    try:
+        xp_core = xp[:, :, padding:padding + h, padding:padding + wd]
+        wdwT = _conv._windows(xp, r, s, stride).transpose(0, 1, 4, 5, 2, 3)
+        cols3 = cols6.reshape(n, crs, p)
+        xp_l = xp.reshape(-1)[:n * cl * hp * wp].reshape(n, cl, hp, wp)
+        xp_l_core = xp_l[:, :, padding:padding + h, padding:padding + wd]
+        wdwT_l = _conv._windows(xp_l, r, s, stride) \
+            .transpose(0, 1, 4, 5, 2, 3)
+        cols6_l = cols6.reshape(-1)[:n * cl * r * s * p] \
+            .reshape(n, cl, r, s, ho, wo)
+        cols3_l = cols6_l.reshape(n, crs_l, p)
+        w3 = w.reshape(k, crs)
+        wl4 = wl.reshape(kl, cl, r, s)
+        w4 = w
+
+        def regather_dense() -> None:
+            xp.fill(0)
+            np.copyto(xp_core, x)
+            np.copyto(cols6, wdwT)
+
+        def regather_live() -> None:
+            xp.fill(0)
+            for d0, s0, ln in ds.in_live_runs:
+                xp_l_core[:, d0:d0 + ln] = x[:, s0:s0 + ln]
+            np.copyto(cols6_l, wdwT_l)
+
+        def fwd_dense() -> None:
+            regather_dense()
+            np.matmul(w3, cols3, out=y_d)
+
+        def fwd_sparse() -> None:
+            weights_dead(w4, ds)              # the per-step guard scan
+            regather_live()
+            for dk, sk, nk in ds.out_live_runs:
+                for dc, sc, nc in ds.in_live_runs:
+                    wl4[dk:dk + nk, dc:dc + nc] = w4[sk:sk + nk, sc:sc + nc]
+            np.matmul(wl, cols3_l, out=yl)
+            for _, s0, ln in ds.out_dead_runs:
+                y_s[:, s0:s0 + ln] = 0
+            for d0, s0, ln in ds.out_live_runs:
+                y_s[:, s0:s0 + ln] = yl[:, d0:d0 + ln]
+
+        def fwd_parity() -> bool:
+            fwd_dense()
+            fwd_sparse()
+            return np.array_equal(y_d, y_s)
+
+        gemm_flops = 2.0 * n * k * crs * p
+        gemm_bytes = 4.0 * n * crs * p              # the column gather
+        pred_fwd = predicted_sparse_gain(
+            gemm_flops, gemm_bytes,
+            2.0 * n * kl * crs_l * p,
+            4.0 * n * (cl / c) * crs * p + 4.0 * n * kl * p)
+        cal = SPARSE_GEMM.calibrate(sig, "fwd", fwd_dense, fwd_sparse,
+                                    fwd_parity, pred_fwd)
+        use_fwd = SPARSE_GEMM.decide(cal, min_gain)
+        if not use_fwd:
+            return False, False, False
+
+        # -- dw probe: dy with dead rows zero (what training produces) ----
+        dy = y_d                                  # reuse: realistic magnitudes
+        for _, s0, ln in ds.out_dead_runs:
+            dy[:, s0:s0 + ln] = 0
+        dwn = ws.acquire((n, k, crs), dtype)
+        dym = ws.acquire((n, kl, p), dtype)
+        dw_d = ws.acquire((k, crs), dtype)
+        dw_s = ws.acquire((k, crs), dtype)
+        try:
+            cols3T = cols3.transpose(0, 2, 1)
+            cols3_lT = cols3_l.transpose(0, 2, 1)
+            dwn_l = dwn.reshape(-1)[:n * kl * crs_l].reshape(n, kl, crs_l)
+
+            def dw_dense() -> None:
+                regather_dense()                  # production bwd regathers
+                np.matmul(dy, cols3T, out=dwn)
+                np.add.reduce(dwn, axis=0, out=dw_d)
+
+            def dw_sparse() -> None:
+                dy.any(axis=(0, 2))               # the measured row mask
+                runs_any_ch(x, ds.in_dead_runs)   # the x-zero column check
+                regather_live()
+                for d0, s0, ln in ds.out_live_runs:
+                    dym[:, d0:d0 + ln] = dy[:, s0:s0 + ln]
+                np.matmul(dym, cols3_lT, out=dwn_l)
+                red = np.add.reduce(dwn_l, axis=0)
+                dw_s.fill(0)
+                dw_s4 = dw_s.reshape(k, c, r, s)
+                red4 = red.reshape(kl, cl, r, s)
+                for dk, sk, nk in ds.out_live_runs:
+                    for dc, sc, nc in ds.in_live_runs:
+                        dw_s4[sk:sk + nk, sc:sc + nc] = \
+                            red4[dk:dk + nk, dc:dc + nc]
+
+            def dw_parity() -> bool:
+                # Row compaction is exact by construction (dy rows are
+                # zero); column compaction additionally needs zero x on the
+                # dead in-channels, which the per-step check enforces at
+                # run time.  The probe validates the row side bitwise.
+                dw_dense()
+                xz = x.copy()
+                for _, s0, ln in ds.in_dead_runs:
+                    xz[:, s0:s0 + ln] = 0
+                xp.fill(0)
+                np.copyto(xp_core, xz)
+                np.copyto(cols6, wdwT)
+                np.matmul(dy, cols3T, out=dwn)
+                np.add.reduce(dwn, axis=0, out=dw_d)
+                for d0, s0, ln in ds.in_live_runs:
+                    xp_l_core[:, d0:d0 + ln] = xz[:, s0:s0 + ln]
+                np.copyto(cols6_l, wdwT_l)
+                for d0, s0, ln in ds.out_live_runs:
+                    dym[:, d0:d0 + ln] = dy[:, s0:s0 + ln]
+                np.matmul(dym, cols3_lT, out=dwn_l)
+                red = np.add.reduce(dwn_l, axis=0)
+                dw_s.fill(0)
+                dw_s4 = dw_s.reshape(k, c, r, s)
+                red4 = red.reshape(kl, cl, r, s)
+                for dk, sk, nk in ds.out_live_runs:
+                    for dc, sc, nc in ds.in_live_runs:
+                        dw_s4[sk:sk + nk, sc:sc + nc] = \
+                            red4[dk:dk + nk, dc:dc + nc]
+                return np.array_equal(dw_d, dw_s)
+
+            pred_dw = predicted_sparse_gain(
+                2.0 * n * k * crs * p, gemm_bytes,
+                2.0 * n * kl * crs_l * p,
+                4.0 * n * (cl / c) * crs * p + 4.0 * n * kl * p)
+            cal_dw = SPARSE_GEMM.calibrate(sig, "dw", dw_dense, dw_sparse,
+                                           dw_parity, pred_dw)
+            use_dw = SPARSE_GEMM.decide(cal_dw, min_gain)
+        finally:
+            ws.release(dwn)
+            ws.release(dym)
+            ws.release(dw_d)
+            ws.release(dw_s)
+
+        # -- dx probe (tconv form only; reduction-dim compaction) ---------
+        use_dx = False
+        if stride == 1 and r > padding and s > padding:
+            use_dx = _calibrate_dx(sig, dy, w, ds, padding, h, wd, ho, wo,
+                                   min_gain)
+        return use_fwd, use_dw, use_dx
+    finally:
+        ws.release(xp)
+        ws.release(cols6)
+        ws.release(y_d)
+        ws.release(y_s)
+        ws.release(yl)
+        ws.release(wl)
+
+
+def _calibrate_dx(sig: tuple, dy3: np.ndarray, w: np.ndarray, ds: DeadSet,
+                  padding: int, h: int, wd: int, ho: int, wo: int,
+                  min_gain: float) -> bool:
+    """Probe the compacted transposed-conv dx pipeline (dense vs sparse).
+
+    This is the one pipeline whose compaction shrinks a GEMM *reduction*
+    dimension (K*R*S), where BLAS accumulator pairing can change low bits —
+    the parity probe is load-bearing here, not a formality.
+    """
+    from ..costmodel.time import SPARSE_GEMM, predicted_sparse_gain
+    from .ops import conv as _conv
+
+    n = dy3.shape[0]
+    k, c, r, s = w.shape
+    kl, cl = ds.out_live.size, ds.in_live.size
+    krs, krs_l = k * r * s, kl * r * s
+    pr, ps = r - 1 - padding, s - 1 - padding
+    dtype = dy3.dtype
+    dy = dy3.reshape(n, k, ho, wo)
+
+    dyp = ws.acquire((n, k, ho + 2 * pr, wo + 2 * ps), dtype, zero=True)
+    dyc6 = ws.acquire((n, k, r, s, h, wd), dtype)
+    wf = ws.acquire((c, krs), dtype)
+    wfl = ws.acquire((cl, krs_l), dtype)
+    dx_d = ws.acquire((n, c, h * wd), dtype)
+    dx_s = ws.acquire((n, c, h * wd), dtype)
+    dxl = ws.acquire((n, cl, h * wd), dtype)
+    try:
+        dyp_core = dyp[:, :, pr:ho + pr, ps:wo + ps]
+        dywT = _conv._windows(dyp, r, s, 1).transpose(0, 1, 4, 5, 2, 3)
+        dyc3 = dyc6.reshape(n, krs, h * wd)
+        hyp, wyp = ho + 2 * pr, wo + 2 * ps
+        dyp_l = dyp.reshape(-1)[:n * kl * hyp * wyp].reshape(n, kl, hyp, wyp)
+        dyp_l_core = dyp_l[:, :, pr:ho + pr, ps:wo + ps]
+        dywT_l = _conv._windows(dyp_l, r, s, 1).transpose(0, 1, 4, 5, 2, 3)
+        dyc6_l = dyc6.reshape(-1)[:n * kl * r * s * h * wd] \
+            .reshape(n, kl, r, s, h, wd)
+        dyc3_l = dyc6_l.reshape(n, krs_l, h * wd)
+        wflip = w[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+        wf4 = wf.reshape(c, k, r, s)
+        wfl4 = wfl.reshape(cl, kl, r, s)
+
+        def dx_dense() -> None:
+            dyp.fill(0)
+            np.copyto(dyp_core, dy)
+            np.copyto(dyc6, dywT)
+            np.copyto(wf4, wflip)
+            np.matmul(wf, dyc3, out=dx_d)
+
+        def dx_sparse() -> None:
+            weights_dead(w, ds)
+            dyp.fill(0)
+            for d0, s0, ln in ds.out_live_runs:
+                dyp_l_core[:, d0:d0 + ln] = dy[:, s0:s0 + ln]
+            np.copyto(dyc6_l, dywT_l)
+            for dc, sc, nc in ds.in_live_runs:
+                for dk, sk, nk in ds.out_live_runs:
+                    wfl4[dc:dc + nc, dk:dk + nk] = \
+                        wflip[sc:sc + nc, sk:sk + nk]
+            np.matmul(wfl, dyc3_l, out=dxl)
+            for _, s0, ln in ds.in_dead_runs:
+                dx_s[:, s0:s0 + ln] = 0
+            for d0, s0, ln in ds.in_live_runs:
+                dx_s[:, s0:s0 + ln] = dxl[:, d0:d0 + ln]
+
+        def dx_parity() -> bool:
+            dx_dense()
+            dx_sparse()
+            return np.array_equal(dx_d, dx_s)
+
+        pred = predicted_sparse_gain(
+            2.0 * n * c * krs * h * wd, 4.0 * n * krs * h * wd,
+            2.0 * n * cl * krs_l * h * wd,
+            4.0 * n * (kl / k) * krs * h * wd + 4.0 * n * cl * h * wd)
+        cal = SPARSE_GEMM.calibrate(sig, "dx", dx_dense, dx_sparse,
+                                    dx_parity, pred)
+        return SPARSE_GEMM.decide(cal, min_gain)
+    finally:
+        ws.release(dyp)
+        ws.release(dyc6)
+        ws.release(wf)
+        ws.release(wfl)
+        ws.release(dx_d)
+        ws.release(dx_s)
+        ws.release(dxl)
